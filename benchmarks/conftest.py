@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive all-optimizations sweep over every workload is computed
+once per session and shared by the table benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ALL_ON
+from repro.evalharness.tables import run_all
+
+
+@pytest.fixture(scope="session")
+def baseline_results():
+    """Every workload, statically and dynamically, all optimizations on."""
+    return run_all(ALL_ON)
+
+
+def render_and_attach(table, capsys=None) -> str:
+    """Render a table and print it so `pytest -s` shows the artifact."""
+    from repro.evalharness.tables import render_table
+
+    text = render_table(table)
+    print("\n" + text)
+    return text

@@ -1,0 +1,74 @@
+"""dinero configuration sweep: the way-search loop unrolls to the
+associativity (the §1 motivating use — one generic simulator, one
+specialized code version per configuration)."""
+
+from repro.dyc import compile_annotated, compile_static
+from repro.frontend import compile_source
+from repro.ir import Memory
+from repro.machine import Machine
+from repro.workloads.dinero import SOURCE, SUBBLOCK_WORDS, TRACE_LENGTH
+from repro.workloads import DINERO
+
+
+def run_config(csize: int, bsize: int, assoc: int):
+    module = compile_source(SOURCE)
+    nsets = csize // (bsize * assoc)
+    cfg_words = [
+        bsize.bit_length() - 1, nsets - 1, nsets.bit_length() - 1,
+        assoc, 1, 0, SUBBLOCK_WORDS, bsize // 4 - 1,
+    ]
+
+    def setup(mem):
+        cfg = mem.alloc_array(cfg_words)
+        tags = mem.alloc(nsets * assoc, fill=-1)
+        valid = mem.alloc(nsets * assoc, fill=0)
+        trace = mem.alloc(TRACE_LENGTH * 2)
+        return [cfg, tags, valid, trace, TRACE_LENGTH, 64 * 1024,
+                0x2F6E2B1]
+
+    mem_s = Memory()
+    static_machine = Machine(compile_static(module), memory=mem_s,
+                             tracked={"mainloop"})
+    hits_s = static_machine.run("main", *setup(mem_s))
+
+    compiled = compile_annotated(module)
+    mem_d = Memory()
+    machine, runtime = compiled.make_machine(memory=mem_d,
+                                             tracked={"mainloop"})
+    hits_d = machine.run("main", *setup(mem_d))
+    assert hits_s == hits_d
+    stats = runtime.stats.regions[0]
+    speedup = (static_machine.stats.scope_cycles["mainloop"]
+               / machine.stats.scope_cycles["mainloop"])
+    return hits_d, speedup, stats
+
+
+def test_associativity_sweep(benchmark):
+    def sweep():
+        return {
+            assoc: run_config(8 * 1024, 32, assoc)
+            for assoc in (1, 2, 4)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for assoc, (hits, speedup, stats) in results.items():
+        print(f"  {assoc}-way: hits={hits}, region speedup "
+              f"{speedup:.2f}x, {stats.instructions_generated} instrs, "
+              f"unroll={stats.unrolling}")
+        # The way-search loop unrolls completely for every config and
+        # the specialized simulator always beats the generic one.
+        assert stats.unrolling == "SW"
+        assert speedup > 1.0
+
+    # Higher associativity ⇒ more unrolled search code.
+    gen = {a: r[2].instructions_generated for a, r in results.items()}
+    assert gen[1] < gen[2] < gen[4]
+
+
+def test_higher_associativity_raises_hit_rate():
+    hits = {assoc: run_config(8 * 1024, 32, assoc)[0]
+            for assoc in (1, 4)}
+    # Functional sanity of the simulator itself: with the same capacity
+    # a 4-way cache should not lose to direct-mapped on this trace.
+    assert hits[4] >= hits[1] * 0.95

@@ -1,0 +1,46 @@
+"""Regenerates Table 1: application characteristics.
+
+Paper reference (Table 1): ten programs — five applications
+(dinero, m88ksim, mipsi, pnmconvol, viewperf) and five kernels —
+with their annotated static variables and experimental input values.
+"""
+
+from conftest import render_and_attach
+
+from repro.evalharness.tables import build_table1
+from repro.workloads import ALL_WORKLOADS, APPLICATIONS, KERNELS
+
+
+def test_table1_characteristics(benchmark):
+    table = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    text = render_and_attach(table)
+
+    # The workload roster matches the paper's.
+    assert len(APPLICATIONS) == 5
+    assert len(KERNELS) == 5
+    for expected in ("dinero", "m88ksim", "mipsi", "pnmconvol",
+                     "viewperf", "binary", "chebyshev", "dotproduct",
+                     "query", "romberg"):
+        assert expected in text
+
+    # The experimental input values of §3.3 / Table 1.
+    assert "direct-mapped, 32B blocks" in text
+    assert "no breakpoints" in text
+    assert "bubble sort" in text
+    assert "11x11 with 9% ones, 83% zeroes" in text
+    assert "perspective matrix, one light source" in text
+    assert "90% zeroes" in text
+
+
+def test_kernels_are_smaller_than_applications():
+    # §3.1: kernels are one to two orders of magnitude smaller.
+    app_lines = sum(w.lines_of_source() for w in APPLICATIONS) / 5
+    kernel_lines = sum(w.lines_of_source() for w in KERNELS) / 5
+    assert kernel_lines < app_lines
+
+
+def test_every_workload_declares_regions():
+    for workload in ALL_WORKLOADS:
+        assert workload.region_functions
+        assert workload.entry
+        assert workload.kind in ("application", "kernel")

@@ -1,0 +1,88 @@
+"""Regenerates Table 2: which optimizations each program uses.
+
+Paper reference (Table 2 + §4.1): all optimizations are needed by at
+least one application; several (complete loop unrolling, static loads,
+unchecked dispatching) are used by nearly all; the kernels, "lacking the
+complexity of the applications", use fewer — rarely the DyC-unique ones
+(multi-way unrolling, dynamic ZCP/DAE, internal promotions, polyvariant
+division).
+"""
+
+from conftest import render_and_attach
+
+from repro.evalharness.tables import build_table2
+
+
+def _stats_by_label(results):
+    out = {}
+    for name, result in results.items():
+        for fn, region_ids in result.region_functions.items():
+            label = (name if len(result.workload.region_functions) == 1
+                     else f"{name}: {fn}")
+            out[label] = [result.region_stats[r] for r in region_ids]
+    return out
+
+
+def test_table2_matrix(benchmark, baseline_results):
+    table = benchmark.pedantic(
+        build_table2, args=(baseline_results,), rounds=1, iterations=1
+    )
+    render_and_attach(table)
+    rows = {row[0]: row[1:] for row in table.rows}
+    assert len(rows) == 11  # 10 programs, viewperf has two regions
+
+
+def test_unrolling_modes(baseline_results):
+    stats = _stats_by_label(baseline_results)
+    # Single-way vs multi-way unrolling per the paper's Table 2.
+    assert stats["dinero"][0].unrolling == "SW"
+    assert stats["mipsi"][0].unrolling == "MW"
+    assert stats["binary"][0].unrolling == "MW"
+    assert stats["pnmconvol"][0].unrolling == "SW"
+    assert stats["dotproduct"][0].unrolling == "SW"
+    assert stats["query"][0].unrolling == "SW"
+    assert stats["romberg"][0].unrolling == "SW"
+    assert stats["m88ksim"][0].unrolling in (None, "SW")  # empty table
+
+
+def test_headline_optimization_usage(baseline_results):
+    stats = _stats_by_label(baseline_results)
+    # mipsi: static loads + static calls + internal promotions (§4.4.1).
+    mipsi = stats["mipsi"][0]
+    assert mipsi.used_static_loads
+    assert mipsi.used_static_calls
+    assert mipsi.used_internal_promotions
+    # pnmconvol: ZCP + DAE (§4.4.4, Figure 4).
+    pnm = stats["pnmconvol"][0]
+    assert pnm.used_zcp and pnm.used_dae
+    # chebyshev: static calls to cosine (§4.4.4).
+    assert stats["chebyshev"][0].used_static_calls
+    # viewperf shader: polyvariant division (§4.4.4).
+    assert stats["viewperf: shade"][0].used_polyvariant_division
+    # dinero: strength reduction of the configuration arithmetic.
+    assert stats["dinero"][0].used_sr
+    # Everything in the suite uses unchecked dispatching (§4.4.3).
+    for label, region_stats in stats.items():
+        assert any(s.used_unchecked_dispatch for s in region_stats), label
+
+
+def test_kernels_use_fewer_optimizations(baseline_results):
+    # §4.1's observation, computed from the usage matrix.
+    stats = _stats_by_label(baseline_results)
+
+    def count_used(region_stats) -> int:
+        s = region_stats[0]
+        return sum([
+            s.unrolling is not None, s.used_static_loads,
+            s.used_static_calls, s.used_zcp, s.used_dae, s.used_sr,
+            s.used_internal_promotions, s.used_polyvariant_division,
+            s.used_unchecked_dispatch,
+        ])
+
+    kernel_labels = ["binary", "chebyshev", "dotproduct", "query",
+                     "romberg"]
+    app_labels = ["dinero", "m88ksim", "mipsi", "pnmconvol",
+                  "viewperf: project_and_clip", "viewperf: shade"]
+    kernel_avg = sum(count_used(stats[k]) for k in kernel_labels) / 5
+    app_avg = sum(count_used(stats[a]) for a in app_labels) / 6
+    assert kernel_avg <= app_avg

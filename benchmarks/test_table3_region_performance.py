@@ -1,0 +1,89 @@
+"""Regenerates Table 3: dynamic-region performance, all optimizations on.
+
+Paper reference (Table 3 + §4.2): application region speedups range 1.2
+to 5.0, with mipsi and m88ksim highest "because most of the code in
+their dynamic regions could be optimized away"; break-even points are
+"well within normal application usage"; complete loop unrolling accounts
+for most generated instructions.
+"""
+
+import math
+
+from conftest import render_and_attach
+
+from repro.evalharness.tables import build_table3
+
+
+def _metrics(results):
+    out = {}
+    for result in results.values():
+        for m in result.region_metrics():
+            out[m.region_label] = m
+    return out
+
+
+def test_table3(benchmark, baseline_results):
+    table = benchmark.pedantic(
+        build_table3, args=(baseline_results,), rounds=1, iterations=1
+    )
+    render_and_attach(table)
+    assert len(table.rows) == 11
+
+
+def test_every_region_beats_static_code(baseline_results):
+    # The paper's headline: dynamic compilation wins everywhere, on
+    # applications as well as kernels.
+    for label, m in _metrics(baseline_results).items():
+        assert m.asymptotic_speedup > 1.0, (
+            f"{label}: {m.asymptotic_speedup:.2f}"
+        )
+
+
+def test_speedup_ordering_matches_paper(baseline_results):
+    # Shape check: the paper's big winners (mipsi, m88ksim, chebyshev,
+    # dotproduct) clearly separate from the modest ones (dinero,
+    # viewperf, binary, query, romberg).
+    m = _metrics(baseline_results)
+    big = [m["mipsi"], m["m88ksim"], m["chebyshev"], m["dotproduct"],
+           m["pnmconvol"]]
+    modest = [m["dinero"], m["viewperf: project_and_clip"],
+              m["viewperf: shade"], m["binary"], m["query"],
+              m["romberg"]]
+    assert min(x.asymptotic_speedup for x in big) > \
+        max(x.asymptotic_speedup for x in modest)
+
+
+def test_breakeven_points_within_normal_usage(baseline_results):
+    # §4.2: e.g. dinero pays off within one simulation run; real cache
+    # studies simulate millions of references.
+    m = _metrics(baseline_results)
+    assert m["dinero"].breakeven_units < 6000       # < one invocation
+    assert m["m88ksim"].breakeven_units < 1500      # < one program run
+    assert m["mipsi"].breakeven_invocations <= 1.0
+    assert m["chebyshev"].breakeven_units <= 5      # paper: 2
+    for label, metrics in m.items():
+        assert not math.isinf(metrics.breakeven_units), label
+
+
+def test_unrolling_dominates_generated_instructions(baseline_results):
+    # §4.2: "Complete loop unrolling generates more instructions than
+    # the other optimizations" — the heavy unrollers generate the most.
+    m = _metrics(baseline_results)
+    heavy = (m["chebyshev"].instructions_generated,
+             m["romberg"].instructions_generated,
+             m["pnmconvol"].instructions_generated)
+    assert min(heavy) > m["m88ksim"].instructions_generated
+    # m88ksim generates almost nothing with the SPEC (no-breakpoint)
+    # input (paper: 6 instructions; ours collapses to one return).
+    assert m["m88ksim"].instructions_generated <= 6
+
+
+def test_overhead_per_instruction_scale(baseline_results):
+    # Paper range: 13..823 cycles per generated instruction, with tiny
+    # regions (m88ksim) paying the most per instruction.
+    m = _metrics(baseline_results)
+    for label, metrics in m.items():
+        assert 5 <= metrics.overhead_per_instruction <= 5000, label
+    assert m["m88ksim"].overhead_per_instruction == max(
+        x.overhead_per_instruction for x in m.values()
+    )

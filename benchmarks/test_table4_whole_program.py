@@ -1,0 +1,62 @@
+"""Regenerates Table 4: whole-program performance (applications).
+
+Paper reference (Table 4 + §4.3): whole-program speedup "depends on the
+proportion of total run time spent executing the dynamic region" —
+mipsi (~100% in region) gains the most; m88ksim (small region share)
+the least; all applications still win once dynamic-compilation overhead
+is included.
+"""
+
+from conftest import render_and_attach
+
+from repro.evalharness.tables import build_table4
+from repro.workloads import APPLICATIONS
+
+
+def _apps(baseline_results):
+    return {w.name: baseline_results[w.name] for w in APPLICATIONS}
+
+
+def test_table4(benchmark, baseline_results):
+    results = _apps(baseline_results)
+    table = benchmark.pedantic(
+        build_table4, args=(results,), rounds=1, iterations=1
+    )
+    render_and_attach(table)
+    assert len(table.rows) == 5
+
+
+def test_whole_program_speedups_positive(baseline_results):
+    # Including DC overhead, every application still wins (§4.3).
+    for name, result in _apps(baseline_results).items():
+        assert result.whole_program_speedup > 1.0, name
+
+
+def test_speedup_tracks_region_fraction(baseline_results):
+    # §4.3: whole-program speedup roughly follows the region's share of
+    # execution — mipsi (~100%) gains most among interpreters.
+    results = _apps(baseline_results)
+    mipsi = results["mipsi"]
+    assert mipsi.region_fraction_of_static > 0.95
+    # Applications with a smaller region share gain less overall than
+    # pnmconvol/mipsi, whose regions dominate execution.
+    assert results["dinero"].whole_program_speedup < \
+        results["pnmconvol"].whole_program_speedup
+    assert results["dinero"].region_fraction_of_static < \
+        results["pnmconvol"].region_fraction_of_static
+
+
+def test_whole_speedup_bounded_by_region_speedup(baseline_results):
+    # Amdahl: whole-program speedup cannot exceed the region speedup.
+    for name, result in _apps(baseline_results).items():
+        region_speedups = [
+            m.asymptotic_speedup for m in result.region_metrics()
+        ]
+        assert result.whole_program_speedup <= max(region_speedups) + 0.05
+
+
+def test_dinero_region_share_matches_paper(baseline_results):
+    # Paper: 49.9% of dinero's static execution is the dynamic region;
+    # ours lands in the same band.
+    result = baseline_results["dinero"]
+    assert 0.35 <= result.region_fraction_of_static <= 0.70

@@ -1,0 +1,126 @@
+"""Regenerates Table 5: region speedups without a particular feature.
+
+Paper reference (Table 5 + §4.4): complete loop unrolling is the single
+most important optimization — "without it, most programs experienced
+slowdowns relative to their statically compiled counterparts"; static
+loads play a similar enabling role; cache-all dispatching costs binary
+and query their win; removing static calls reduces chebyshev's 6x to a
+marginal advantage; pnmconvol *slows down* without dead-assignment
+elimination because the generated code overflows the I-cache.
+"""
+
+import pytest
+
+from conftest import render_and_attach
+
+from repro.config import ALL_ON
+from repro.evalharness.runner import run_workload
+from repro.evalharness.tables import build_table5
+from repro.workloads import (
+    BINARY,
+    CHEBYSHEV,
+    DOTPRODUCT,
+    M88KSIM,
+    PNMCONVOL,
+    QUERY,
+)
+
+
+@pytest.fixture(scope="module")
+def table5(baseline_results):
+    return build_table5(baseline_results)
+
+
+def _cell(table, region: str, column: str):
+    headers = table.headers
+    col = headers.index(column)
+    for row in table.rows:
+        if row[0] == region:
+            value = row[col].rstrip("*")
+            return float(value) if value else None
+    raise AssertionError(f"no row {region}")
+
+
+def test_table5(benchmark, baseline_results):
+    table = benchmark.pedantic(
+        build_table5, args=(baseline_results,), rounds=1, iterations=1
+    )
+    render_and_attach(table)
+    assert len(table.rows) == 11
+
+
+def test_unrolling_is_the_most_important_optimization(table5):
+    # §4.4.1: without complete loop unrolling most programs slow down.
+    slowdowns = 0
+    applicable = 0
+    for row in table5.rows:
+        cell = _cell(table5, row[0], "-Unroll")
+        if cell is None:
+            continue
+        applicable += 1
+        if cell < 1.0:
+            slowdowns += 1
+        # And unrolling never *helps* to disable:
+        assert cell <= _cell(table5, row[0], "All Opts") + 1e-9
+    assert applicable >= 9
+    assert slowdowns >= applicable - 2  # "most programs"
+
+
+def test_static_loads_similarly_pivotal(table5):
+    # §4.4.2: important "in all applications and most kernels".
+    for region in ("m88ksim", "pnmconvol", "dotproduct", "query"):
+        without = _cell(table5, region, "-StLoads")
+        assert without < _cell(table5, region, "All Opts")
+
+
+def test_unchecked_dispatching_effects(table5):
+    # §4.4.3: applications lose little under cache-all — except
+    # m88ksim, which dispatches per simulated instruction; the small
+    # kernels binary and query slow down outright.
+    assert _cell(table5, "binary", "-Unchecked") < 1.0
+    assert _cell(table5, "query", "-Unchecked") < 1.0
+    m88k_all = _cell(table5, "m88ksim", "All Opts")
+    assert _cell(table5, "m88ksim", "-Unchecked") < m88k_all / 2
+    # dinero/pnmconvol dispatch once per run: cache-all costs nothing.
+    for region in ("dinero", "pnmconvol"):
+        assert _cell(table5, region, "-Unchecked") == pytest.approx(
+            _cell(table5, region, "All Opts"), rel=0.02
+        )
+
+
+def test_static_calls_pivotal_for_chebyshev(table5):
+    # §4.4.4: "treating calls to cosine as static turned a marginal 20%
+    # advantage into a 6-fold speedup".
+    without = _cell(table5, "chebyshev", "-StCalls")
+    with_all = _cell(table5, "chebyshev", "All Opts")
+    assert without < 1.5           # marginal at best
+    assert with_all / without > 3  # the fold difference
+
+
+def test_dae_pivotal_for_pnmconvol(table5):
+    # §4.4.4: without DAE the generated code overflows the I-cache and
+    # pnmconvol is *slower* than static code.
+    assert _cell(table5, "pnmconvol", "-DAE") < 1.0
+    assert _cell(table5, "pnmconvol", "All Opts") > 3.0
+
+
+def test_pnmconvol_icache_mechanism():
+    # The DAE cliff really is the I-cache: without DAE the emitted code
+    # footprint exceeds the (scaled) capacity; with DAE it fits.
+    base = run_workload(PNMCONVOL)
+    ablated = run_workload(
+        PNMCONVOL, ALL_ON.without("dead_assignment_elimination")
+    )
+    capacity = PNMCONVOL.icache_capacity_bytes // 4
+    with_dae = base.region_stats[0].instructions_generated
+    without_dae = ablated.region_stats[0].instructions_generated
+    assert with_dae < capacity
+    assert without_dae > capacity
+    assert 2.0 < without_dae / with_dae < 10.0  # paper: 2.7x capacity
+
+
+def test_mipsi_needs_all_three(table5):
+    # §4.4.4: mipsi needs unrolling + static loads + static calls; with
+    # any one missing it slows down.
+    for column in ("-Unroll", "-StLoads", "-StCalls"):
+        assert _cell(table5, "mipsi", column) < 1.0

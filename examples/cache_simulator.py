@@ -1,0 +1,136 @@
+"""Specializing an architectural simulator to its configuration (dinero).
+
+The paper's other motivating class: "specializing architectural
+simulators for the configuration being simulated" (§1).  A generic
+set-associative cache simulator is specialized per configuration: the
+set/tag arithmetic strength-reduces to shifts and masks, the way-search
+loop unrolls to the associativity, and the write-policy branches fold.
+Each distinct configuration gets its own code version through the
+region's code cache.
+
+Run:  python examples/cache_simulator.py
+"""
+
+from repro.dyc import compile_annotated, compile_static
+from repro.frontend import compile_source
+from repro.ir import Memory
+from repro.machine import Machine
+from repro.workloads.inputs import address_trace
+
+SOURCE = """
+// cfg: [0]=block shift  [1]=set mask   [2]=set shift
+//      [3]=associativity [4]=sub-block size (words, power of two)
+func simulate(cfg, tags, valid, sectors, trace, ntrace) {
+    make_static(cfg, bshift, setmask, setshift, assoc, sbsize, w);
+    var bshift = cfg@[0];
+    var setmask = cfg@[1];
+    var setshift = cfg@[2];
+    var assoc = cfg@[3];
+    var sbsize = cfg@[4];
+    var hits = 0;
+    for (t = 0; t < ntrace; t = t + 1) {
+        var addr = trace[t];
+        var block = addr >> bshift;
+        var set = block & setmask;
+        var tag = block >> setshift;
+        var base = set * assoc;
+        // Sub-block accounting: / and % by the configured sub-block
+        // size strength-reduce to shift/mask at dynamic compile time.
+        var sector = ((addr >> 2) / sbsize) % 16;
+        sectors[sector] = sectors[sector] + 1;
+        var found = 0;
+        for (w = 0; w < assoc; w = w + 1) {
+            var hit = valid[base + w] & (tags[base + w] == tag);
+            found = found | hit;
+        }
+        if (found == 1) { hits = hits + 1; }
+        else { tags[base] = tag; valid[base] = 1; }
+    }
+    return hits;
+}
+"""
+
+#: (cache size, block size, associativity) configurations to sweep.
+CONFIGS = [
+    (8 * 1024, 32, 1),     # the paper's dinero configuration
+    (16 * 1024, 64, 2),
+    (4 * 1024, 16, 4),
+]
+
+TRACE_LENGTH = 3000
+
+
+def cfg_words(csize: int, bsize: int, assoc: int) -> list[int]:
+    nsets = csize // (bsize * assoc)
+    return [
+        bsize.bit_length() - 1,
+        nsets - 1,
+        nsets.bit_length() - 1,
+        assoc,
+        2,                       # sub-block size (words)
+    ]
+
+
+def main():
+    module = compile_source(SOURCE)
+    compiled = compile_annotated(module)
+    static_module = compile_static(module)
+
+    mem = Memory()
+    trace_values = address_trace(TRACE_LENGTH, seed=21)
+    trace = mem.alloc_array(trace_values)
+    machine, runtime = compiled.make_machine(memory=mem)
+
+    static_mem = Memory()
+    static_trace = static_mem.alloc_array(trace_values)
+    static_machine = Machine(static_module, memory=static_mem)
+
+    print(f"{'config':>22s} {'hits':>6s} {'static cyc':>11s} "
+          f"{'dynamic cyc':>12s} {'speedup':>8s}")
+    for csize, bsize, assoc in CONFIGS:
+        words = cfg_words(csize, bsize, assoc)
+        nslots = (csize // (bsize * assoc)) * assoc
+
+        cfg_s = static_mem.alloc_array(words)
+        tags_s = static_mem.alloc(nslots, fill=-1)
+        valid_s = static_mem.alloc(nslots, fill=0)
+        sectors_s = static_mem.alloc(16, fill=0)
+        before = static_machine.stats.cycles
+        hits_s = static_machine.run("simulate", cfg_s, tags_s, valid_s,
+                                    sectors_s, static_trace,
+                                    TRACE_LENGTH)
+        static_cycles = static_machine.stats.cycles - before
+
+        cfg_d = mem.alloc_array(words)
+        tags_d = mem.alloc(nslots, fill=-1)
+        valid_d = mem.alloc(nslots, fill=0)
+        sectors_d = mem.alloc(16, fill=0)
+        # Warm the code cache, then measure steady state.
+        machine.run("simulate", cfg_d, tags_d, valid_d, sectors_d,
+                    trace, TRACE_LENGTH)
+        for addr in range(nslots):
+            mem.store(tags_d + addr, -1)
+            mem.store(valid_d + addr, 0)
+        before = machine.stats.cycles
+        hits_d = machine.run("simulate", cfg_d, tags_d, valid_d,
+                             sectors_d, trace, TRACE_LENGTH)
+        dynamic_cycles = machine.stats.cycles - before
+
+        assert hits_s == hits_d, "specialized simulator must agree"
+        label = f"{csize // 1024}KB/{bsize}B/{assoc}-way"
+        print(f"{label:>22s} {hits_d:6d} {static_cycles:11.0f} "
+              f"{dynamic_cycles:12.0f} "
+              f"{static_cycles / dynamic_cycles:8.2f}x")
+
+    stats = runtime.stats.regions[0]
+    print(f"\ncode versions compiled: {stats.specializations} "
+          f"(one per configuration)")
+    print(f"dispatches: {stats.dispatches}  "
+          f"strength reductions applied: {stats.sr_applied}  "
+          f"config loads folded: {stats.static_loads_folded}")
+    print("note: each cfg pointer is a distinct cache key, so re-running "
+          "a configuration reuses its version.")
+
+
+if __name__ == "__main__":
+    main()

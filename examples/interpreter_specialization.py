@@ -1,0 +1,107 @@
+"""Specializing an interpreter to its program — the mipsi idea.
+
+The paper's motivating application class: "specializing ... language
+interpreters for the program being interpreted" (§1).  We write a tiny
+stack-free bytecode interpreter in MiniC, annotate its program counter
+static, and let multi-way complete loop unrolling (§2.2.4) turn the
+interpreted program into native region code: fetches fold (static
+loads), the opcode dispatch folds (static branches), and the interpreted
+program's control flow — loop included — reappears as branches between
+specialization contexts.
+
+In effect: specializer(interpreter, program) = compiled program.
+
+Run:  python examples/interpreter_specialization.py
+"""
+
+from repro.dyc import compile_annotated, compile_static
+from repro.frontend import compile_source
+from repro.ir import Memory, format_function
+from repro.machine import Machine
+from repro.runtime.cache import UncheckedCache
+
+SOURCE = """
+// Bytecode (2 words per instruction): [op, arg]
+//   0 halt | 1 push-add imm | 2 double | 3 sub imm
+//   4 jump-if-positive arg | 5 jump arg
+func interp(prog, acc) {
+    make_static(prog, pc, running) : cache_one_unchecked;
+    var pc = 0;
+    var running = 1;
+    while (running) {
+        var op = prog@[pc * 2];
+        var arg = prog@[pc * 2 + 1];
+        pc = pc + 1;
+        if (op == 0) { running = 0; }
+        else { if (op == 1) { acc = acc + arg; }
+        else { if (op == 2) { acc = acc * 2; }
+        else { if (op == 3) { acc = acc - arg; }
+        else { if (op == 4) {
+            if (acc > 0) { pc = arg; }
+        }
+        else { pc = arg; } } } } }
+    }
+    return acc;
+}
+"""
+
+#: The interpreted program: repeatedly subtract 7 while positive, then
+#: add 100 — it contains a loop, so the specialized code has a back edge.
+PROGRAM = [
+    3, 7,     # 0: acc -= 7
+    4, 0,     # 1: if acc > 0 goto 0
+    1, 100,   # 2: acc += 100
+    2, 0,     # 3: acc *= 2
+    0, 0,     # 4: halt
+]
+
+
+def main():
+    module = compile_source(SOURCE)
+
+    # Interpret (statically compiled) vs specialize-then-run.
+    mem = Memory()
+    prog = mem.alloc_array(PROGRAM)
+    static_machine = Machine(compile_static(module), memory=mem)
+    interpreted = static_machine.run("interp", prog, 50)
+    interp_cycles = static_machine.stats.cycles
+
+    compiled = compile_annotated(module)
+    mem2 = Memory()
+    prog2 = mem2.alloc_array(PROGRAM)
+    machine, runtime = compiled.make_machine(memory=mem2)
+    first = machine.run("interp", prog2, 50)
+    baseline = machine.stats.cycles
+    second = machine.run("interp", prog2, 50)
+    specialized_cycles = machine.stats.cycles - baseline
+    assert first == second == interpreted
+
+    cache = runtime.entry_caches[0]
+    code = (cache._value if isinstance(cache, UncheckedCache)
+            else next(iter(cache.items()))[1])
+    stats = runtime.stats.regions[0]
+
+    print("The interpreted program, compiled by specialization:")
+    print(format_function(code.function))
+    print(f"\nresult: {interpreted} (identical for both versions)")
+    print(f"interpreted:  {interp_cycles:7.0f} cycles")
+    print(f"specialized:  {specialized_cycles:7.0f} cycles "
+          f"({interp_cycles / specialized_cycles:.1f}x)")
+    print(f"unrolling: {stats.unrolling} "
+          f"(multi-way: the interpreted loop became a real back edge)")
+    print(f"instruction fetches folded: {stats.static_loads_folded} "
+          f"static loads")
+    print(f"opcode dispatches folded: {stats.static_branches_folded} "
+          f"static branches")
+
+    # Different accumulator inputs reuse the same specialized code: the
+    # cache is keyed on the *program*, not the data.
+    for acc in (1, 10, 1000):
+        machine.run("interp", prog2, acc)
+    print(f"dispatches: {stats.dispatches}, "
+          f"specializations: {stats.specializations} "
+          "(one compile, many runs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Quickstart: the paper's image-convolution example (Figures 2-4).
+
+Annotate the convolution matrix static, let DyC completely unroll the
+inner loops, fold the matrix loads, and watch staged dynamic zero/copy
+propagation + dead-assignment elimination delete the code for the zero
+weights — then compare cycle counts against the statically compiled
+baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import ALL_ON
+from repro.dyc import compile_annotated, compile_static
+from repro.frontend import compile_source
+from repro.ir import Memory, format_function
+from repro.machine import Machine
+from repro.runtime.cache import UncheckedCache
+
+# Figure 2, in MiniC: '@' marks static loads, make_static the
+# specialization request.  A 3x3 kernel keeps the listing readable.
+SOURCE = """
+func do_convol(image, irows, icols, cmatrix, crows, ccols, outbuf) {
+    make_static(cmatrix, crows, ccols, crow, ccol) : cache_one_unchecked;
+    var crowso2 = crows / 2;
+    var ccolso2 = ccols / 2;
+    for (irow = crowso2; irow < irows - crowso2; irow = irow + 1) {
+        var rowbase = irow - crowso2;
+        for (icol = ccolso2; icol < icols - ccolso2; icol = icol + 1) {
+            var colbase = icol - ccolso2;
+            var sum = 0.0;
+            for (crow = 0; crow < crows; crow = crow + 1) {
+                for (ccol = 0; ccol < ccols; ccol = ccol + 1) {
+                    var weight = cmatrix@[crow * ccols + ccol];
+                    var x = image[(rowbase + crow) * icols
+                                  + (colbase + ccol)];
+                    sum = sum + x * weight;
+                }
+            }
+            outbuf[irow * icols + icol] = sum;
+        }
+    }
+    return 0;
+}
+"""
+
+#: The paper's example matrix: alternating ones and zeroes (zeroes in
+#: the corners) — every even iteration folds to nothing (Figure 4).
+CMATRIX = [
+    [0.0, 1.0, 0.0],
+    [1.0, 0.0, 1.0],
+    [0.0, 1.0, 0.0],
+]
+
+IROWS = ICOLS = 12
+
+
+def build_inputs(mem: Memory):
+    image = mem.alloc_array(
+        [float((r * 31 + 7) % 256)
+         for r in range(IROWS * ICOLS)]
+    )
+    cmatrix = mem.alloc_matrix(CMATRIX)
+    outbuf = mem.alloc(IROWS * ICOLS, fill=0.0)
+    return [image, IROWS, ICOLS, cmatrix, 3, 3, outbuf], outbuf
+
+
+def run(config, title):
+    module = compile_source(SOURCE)
+    compiled = compile_annotated(module, config)
+    mem = Memory()
+    args, outbuf = build_inputs(mem)
+    machine, runtime = compiled.make_machine(memory=mem)
+    machine.run("do_convol", *args)
+    baseline = machine.stats.cycles
+    machine.run("do_convol", *args)          # steady state
+    cycles = machine.stats.cycles - baseline
+
+    cache = runtime.entry_caches[0]
+    code = (cache._value if isinstance(cache, UncheckedCache)
+            else next(iter(cache.items()))[1])
+    stats = runtime.stats.regions[0]
+    print(f"\n=== {title} ===")
+    print(f"emitted instructions: {stats.instructions_generated}, "
+          f"zero-prop hits: {stats.zcp_zero_hits}, "
+          f"copy-prop hits: {stats.zcp_copy_hits}, "
+          f"dead assignments removed: {stats.dae_removed}")
+    print(f"steady-state cycles per call: {cycles:.0f}")
+    print(format_function(code.function))
+    return cycles, mem.read_array(outbuf, IROWS * ICOLS)
+
+
+def main():
+    # Statically compiled baseline (annotations ignored, §3.3).
+    module = compile_source(SOURCE)
+    static_module = compile_static(module)
+    mem = Memory()
+    args, outbuf = build_inputs(mem)
+    machine = Machine(static_module, memory=mem)
+    machine.run("do_convol", *args)
+    static_cycles = machine.stats.cycles
+    expected = mem.read_array(outbuf, IROWS * ICOLS)
+    print(f"statically compiled: {static_cycles:.0f} cycles per call")
+
+    # Figure 3: specialization without the staged ZCP/DAE.
+    partial_config = ALL_ON.without("zero_copy_propagation",
+                                    "dead_assignment_elimination")
+    partial_cycles, partial_out = run(
+        partial_config, "Figure 3: unrolled, before dynamic ZCP/DAE"
+    )
+
+    # Figure 4: the fully optimized region.
+    full_cycles, full_out = run(
+        ALL_ON, "Figure 4: with dynamic zero/copy propagation and DAE"
+    )
+
+    assert partial_out == expected and full_out == expected, \
+        "specialized code must compute exactly what static code does"
+    print("\n=== Summary ===")
+    print(f"static:              {static_cycles:8.0f} cycles")
+    print(f"unrolled (Fig. 3):   {partial_cycles:8.0f} cycles "
+          f"({static_cycles / partial_cycles:.2f}x)")
+    print(f"fully optimized (4): {full_cycles:8.0f} cycles "
+          f"({static_cycles / full_cycles:.2f}x)")
+    print("outputs verified identical across all three versions.")
+
+
+if __name__ == "__main__":
+    main()

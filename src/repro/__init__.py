@@ -1,0 +1,48 @@
+"""dyc-repro: staged run-time specialization, after Grant et al. (PLDI 1999).
+
+Public API surface::
+
+    from repro import (
+        compile_source,        # MiniC -> IR module
+        compile_annotated,     # IR -> dynamically compiled program
+        compile_static,        # IR -> statically compiled baseline
+        OptConfig, ALL_ON, ALL_OFF,
+        Machine, Memory,
+    )
+
+    module = compile_source(src)
+    compiled = compile_annotated(module, ALL_ON)
+    machine, runtime = compiled.make_machine()
+    machine.run("f", ...)
+
+See README.md for the full tour and ``repro.evalharness`` for the
+paper's tables.
+"""
+
+from repro.config import ALL_OFF, ALL_ON, OptConfig
+from repro.dyc import (
+    CompiledProgram,
+    DycCompiler,
+    compile_annotated,
+    compile_static,
+)
+from repro.frontend import compile_source
+from repro.ir import Memory, Module
+from repro.machine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_OFF",
+    "ALL_ON",
+    "OptConfig",
+    "CompiledProgram",
+    "DycCompiler",
+    "compile_annotated",
+    "compile_static",
+    "compile_source",
+    "Memory",
+    "Module",
+    "Machine",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Control-flow-graph analyses shared by the optimizer and the BTA."""
+
+from repro.analysis.cfg import (
+    reverse_postorder,
+    postorder,
+    dominators,
+    immediate_dominators,
+    back_edges,
+    natural_loops,
+    Loop,
+    loop_body_map,
+)
+from repro.analysis.liveness import liveness
+
+__all__ = [
+    "reverse_postorder",
+    "postorder",
+    "dominators",
+    "immediate_dominators",
+    "back_edges",
+    "natural_loops",
+    "Loop",
+    "loop_body_map",
+    "liveness",
+]

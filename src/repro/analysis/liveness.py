@@ -1,0 +1,77 @@
+"""Backward liveness analysis over variables.
+
+Used by the traditional optimizer's dead-code elimination, by the BTA to
+bound dynamic regions ("ending after the last use of any static value",
+§2.2), and by the runtime specializer to key specialization contexts on
+*live* static variables only (so that dead static values do not force
+spurious re-specialization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import Function
+
+
+@dataclass
+class LivenessResult:
+    """Per-block live-variable sets.
+
+    ``live_in[label]`` holds variables live on entry to the block;
+    ``live_out[label]`` those live on exit.
+    """
+
+    live_in: dict[str, frozenset[str]]
+    live_out: dict[str, frozenset[str]]
+
+    def live_before(self, function: Function, label: str,
+                    index: int) -> frozenset[str]:
+        """Variables live immediately before instruction ``index``."""
+        block = function.block(label)
+        live = set(self.live_out[label])
+        for instr in reversed(block.instrs[index:]):
+            live -= set(instr.defs())
+            live |= set(instr.uses())
+        return frozenset(live)
+
+
+def liveness(function: Function) -> LivenessResult:
+    """Iterative backward may-analysis for live variables."""
+    use: dict[str, set[str]] = {}
+    defs: dict[str, set[str]] = {}
+    for label, block in function.blocks.items():
+        upward: set[str] = set()
+        killed: set[str] = set()
+        for instr in block.instrs:
+            upward |= set(instr.uses()) - killed
+            killed |= set(instr.defs())
+        use[label] = upward
+        defs[label] = killed
+
+    live_in: dict[str, set[str]] = {label: set() for label in function.blocks}
+    live_out: dict[str, set[str]] = {
+        label: set() for label in function.blocks
+    }
+    succs = {
+        label: block.successors()
+        for label, block in function.blocks.items()
+    }
+
+    changed = True
+    while changed:
+        changed = False
+        for label in function.blocks:
+            out: set[str] = set()
+            for succ in succs[label]:
+                out |= live_in[succ]
+            new_in = use[label] | (out - defs[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+
+    return LivenessResult(
+        live_in={k: frozenset(v) for k, v in live_in.items()},
+        live_out={k: frozenset(v) for k, v in live_out.items()},
+    )

@@ -1,0 +1,40 @@
+"""Automatic annotation: the paper's stated next step, implemented.
+
+§6: "Our next major step is to build on this understanding by developing
+a system that works towards automating the policy decisions", using
+"value profiling [2] to identify static variable candidates, and a
+cost-benefit model to select appropriate optimizations" (§3.2).
+
+This package provides that front half:
+
+* :class:`~repro.autoannotate.profiler.ValueProfiler` — records, per
+  function, invocation counts, inclusive cycles, and per-parameter
+  value distributions while a statically compiled program runs (Calder
+  et al.'s value profiling, the paper's reference [2]);
+* :func:`~repro.autoannotate.suggest.suggest_annotations` — turns a
+  profile into ranked annotation suggestions: which hot functions have
+  quasi-invariant parameters, which loop indices should join the
+  ``make_static`` for complete unrolling, and which cache policy fits
+  the observed value distribution (single value → ``cache_one_
+  unchecked``; small byte-range → ``cache_indexed``; else
+  ``cache_all``);
+* :func:`~repro.autoannotate.suggest.annotate_module` — applies a
+  suggestion to an IR module by inserting the ``MakeStatic`` at
+  function entry, so the suggestion can be compiled and measured
+  immediately.
+"""
+
+from repro.autoannotate.profiler import FunctionProfile, ValueProfiler
+from repro.autoannotate.suggest import (
+    Suggestion,
+    annotate_module,
+    suggest_annotations,
+)
+
+__all__ = [
+    "ValueProfiler",
+    "FunctionProfile",
+    "Suggestion",
+    "suggest_annotations",
+    "annotate_module",
+]

@@ -1,0 +1,134 @@
+"""Value profiling (Calder, Feller & Eustace — the paper's [2]).
+
+Attach a :class:`ValueProfiler` to a machine and run the statically
+compiled program on representative inputs; the profiler records, per
+function:
+
+* invocation count;
+* inclusive cycles (the gprof-style hotness the paper used to choose
+  optimization targets, §3.2);
+* per-parameter value distributions, capped at ``max_tracked_values``
+  distinct values per parameter (beyond the cap a parameter is plainly
+  not a run-time constant and exact counts stop mattering).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ParamProfile:
+    """Observed values of one parameter across calls."""
+
+    name: str
+    values: Counter = field(default_factory=Counter)
+    observations: int = 0
+    overflowed: bool = False
+
+    @property
+    def distinct(self) -> int:
+        return len(self.values)
+
+    @property
+    def invariance(self) -> float:
+        """Fraction of calls that saw the single most common value."""
+        if not self.observations:
+            return 0.0
+        if self.overflowed:
+            return 0.0
+        (_, top_count), = self.values.most_common(1) or [((None, 0))]
+        return top_count / self.observations
+
+    def record(self, value, cap: int) -> None:
+        self.observations += 1
+        if self.overflowed:
+            return
+        hashable = value if isinstance(value, (int, float)) else repr(value)
+        self.values[hashable] += 1
+        if len(self.values) > cap:
+            self.overflowed = True
+            self.values.clear()
+
+
+@dataclass
+class FunctionProfile:
+    """Everything observed about one function."""
+
+    name: str
+    params: tuple[str, ...]
+    calls: int = 0
+    inclusive_cycles: float = 0.0
+    param_profiles: dict[str, ParamProfile] = field(default_factory=dict)
+
+    def cycle_share(self, total_cycles: float) -> float:
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.inclusive_cycles / total_cycles)
+
+
+class ValueProfiler:
+    """Machine hook recording call counts, cycles, and parameter values.
+
+    Attach with ``machine.profiler = profiler`` before running.  Nested
+    and recursive calls are handled: inclusive cycles attribute the full
+    subtree to every active frame of the function (double counting of
+    self-recursion is avoided by attributing only the outermost frame).
+    """
+
+    def __init__(self, module, max_tracked_values: int = 64) -> None:
+        self.max_tracked_values = max_tracked_values
+        self.functions: dict[str, FunctionProfile] = {}
+        self.total_cycles: float = 0.0
+        self._module = module
+        self._stack: list[tuple[str, float]] = []
+        self._active: Counter = Counter()
+
+    def profile_for(self, name: str) -> FunctionProfile:
+        if name not in self.functions:
+            params = ()
+            if self._module is not None and name in self._module:
+                params = self._module.function(name).params
+            profile = FunctionProfile(name=name, params=params)
+            for param in params:
+                profile.param_profiles[param] = ParamProfile(param)
+            self.functions[name] = profile
+        return self.functions[name]
+
+    # ------------------------------------------------------------------
+    # Machine hooks
+    # ------------------------------------------------------------------
+
+    def enter(self, name: str, args: list, cycles: float) -> None:
+        profile = self.profile_for(name)
+        profile.calls += 1
+        for param, value in zip(profile.params, args):
+            profile.param_profiles[param].record(
+                value, self.max_tracked_values
+            )
+        self._stack.append((name, cycles))
+        self._active[name] += 1
+
+    def leave(self, name: str, cycles: float) -> None:
+        while self._stack:
+            frame_name, entry_cycles = self._stack.pop()
+            if frame_name == name:
+                break
+        else:  # pragma: no cover - defensive
+            return
+        self._active[name] -= 1
+        if self._active[name] == 0:
+            # Outermost frame of this function: attribute the subtree.
+            self.functions[name].inclusive_cycles += cycles - entry_cycles
+        self.total_cycles = max(self.total_cycles, cycles)
+
+    # ------------------------------------------------------------------
+
+    def hottest(self, limit: int = 5) -> list[FunctionProfile]:
+        """Functions by inclusive cycles, descending (the gprof step)."""
+        return sorted(
+            self.functions.values(),
+            key=lambda p: p.inclusive_cycles,
+            reverse=True,
+        )[:limit]

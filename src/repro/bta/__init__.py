@@ -1,0 +1,35 @@
+"""Binding-time analysis (BTA) with polyvariant division.
+
+Given an annotated, traditionally optimized function, the BTA determines —
+per program point and per *division* (set of annotated variables assumed
+static) — which variables are static (run-time constants) and which
+computations can therefore be executed once at dynamic compile time.  It
+also discovers the extent of each dynamic region, its entry promotion,
+its exits back into statically compiled code, and every internal
+dynamic-to-static promotion point (§2.2.1–2.2.5 of the paper).
+"""
+
+from repro.bta.annotations import (
+    collect_annotations,
+    split_at_annotations,
+)
+from repro.bta.facts import (
+    ContextFacts,
+    Division,
+    InstrClass,
+    PromotionPoint,
+    RegionInfo,
+)
+from repro.bta.analysis import BindingTimeAnalysis, analyze_function
+
+__all__ = [
+    "collect_annotations",
+    "split_at_annotations",
+    "ContextFacts",
+    "Division",
+    "InstrClass",
+    "PromotionPoint",
+    "RegionInfo",
+    "BindingTimeAnalysis",
+    "analyze_function",
+]

@@ -1,0 +1,70 @@
+"""Annotation discovery and CFG preprocessing for the BTA.
+
+The BTA wants every ``make_static`` annotation to sit at the *start* of a
+basic block (so a region entry or an internal division point coincides
+with a block boundary).  :func:`split_at_annotations` establishes that
+invariant by splitting blocks in front of mid-block annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Jump, MakeStatic
+
+
+@dataclass(frozen=True)
+class AnnotationSite:
+    """A ``make_static`` occurrence (always block-initial after splitting)."""
+
+    block: str
+    names: tuple[str, ...]
+    policy: str
+
+
+def has_annotations(function: Function) -> bool:
+    """True when the function contains any ``make_static`` annotation."""
+    return any(
+        isinstance(instr, MakeStatic)
+        for _, _, instr in function.instructions()
+    )
+
+
+def split_at_annotations(function: Function) -> None:
+    """Split blocks so every ``MakeStatic`` is the first instruction.
+
+    Rewrites the function in place.  Block labels of the new annotation
+    blocks are derived from the original label, so diagnostics stay
+    readable.
+    """
+    counter = 0
+    worklist = list(function.blocks.values())
+    while worklist:
+        block = worklist.pop()
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, MakeStatic) and index > 0:
+                counter += 1
+                new_label = f"{block.label}.ms{counter}"
+                while new_label in function.blocks:
+                    counter += 1
+                    new_label = f"{block.label}.ms{counter}"
+                tail = BasicBlock(new_label, block.instrs[index:])
+                block.instrs = block.instrs[:index] + [Jump(new_label)]
+                function.blocks[new_label] = tail
+                worklist.append(tail)
+                break
+
+
+def collect_annotations(function: Function) -> list[AnnotationSite]:
+    """All block-initial ``make_static`` sites, in CFG (dict) order.
+
+    Call :func:`split_at_annotations` first; a mid-block annotation here
+    is a programming error.
+    """
+    sites: list[AnnotationSite] = []
+    for label, block in function.blocks.items():
+        first = block.instrs[0] if block.instrs else None
+        if isinstance(first, MakeStatic):
+            sites.append(AnnotationSite(label, first.names, first.policy))
+    return sites

@@ -1,0 +1,142 @@
+"""The static-compile-time driver (DyC's compile pipeline, §2.1).
+
+``compile_annotated`` performs, for each procedure:
+
+1. traditional intraprocedural optimization;
+2. binding-time analysis for procedures containing annotations;
+3. generating-extension construction per dynamic region;
+4. the host rewrite: each region's entry block is replaced by an
+   ``EnterRegion`` dispatch.  The region's other blocks stay in the host
+   only where paths bypassing the annotation still need them (the
+   unspecialized division); unreachable ones are removed.
+
+``compile_static`` builds the baseline configuration: the same program
+compiled "by ignoring the annotations in the application source" (§3.3).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.bta.analysis import analyze_function
+from repro.bta.annotations import has_annotations
+from repro.bta.facts import RegionInfo
+from repro.config import ALL_ON, OptConfig
+from repro.dyc.genext import GeneratingExtension, build_generating_extension
+from repro.ir.function import BasicBlock, Module
+from repro.ir.instructions import EnterRegion, MakeDynamic, MakeStatic
+from repro.machine.interp import Machine
+from repro.machine.costs import CostModel, ALPHA_21164
+from repro.machine.icache import ICacheModel
+from repro.opt.pipeline import optimize_function
+
+
+@dataclass
+class CompiledProgram:
+    """A dynamically compiled program: host module + generating
+    extensions."""
+
+    module: Module
+    config: OptConfig
+    regions: dict[int, RegionInfo] = field(default_factory=dict)
+    genexts: dict[int, GeneratingExtension] = field(default_factory=dict)
+    #: function name -> region ids it contains.
+    region_functions: dict[str, list[int]] = field(default_factory=dict)
+
+    def make_machine(self, memory=None,
+                     cost_model: CostModel = ALPHA_21164,
+                     icache: ICacheModel | None = None,
+                     overhead=None,
+                     tracked=frozenset(),
+                     step_limit: int = 500_000_000):
+        """A machine + runtime pair ready to execute this program."""
+        # Imported here: the runtime package imports the generating-
+        # extension definitions from this package, so a module-level
+        # import would be circular.
+        from repro.runtime.runtime import DycRuntime
+
+        runtime = DycRuntime(self, overhead=overhead)
+        machine = Machine(
+            self.module,
+            memory=memory,
+            cost_model=cost_model,
+            icache=icache,
+            runtime=runtime,
+            tracked=tracked,
+            step_limit=step_limit,
+        )
+        return machine, runtime
+
+
+class DycCompiler:
+    """Compiles an annotated module for dynamic compilation."""
+
+    def __init__(self, config: OptConfig = ALL_ON):
+        self.config = config
+
+    def compile(self, module: Module) -> CompiledProgram:
+        """Produce a :class:`CompiledProgram`; ``module`` is not
+        modified."""
+        module = copy.deepcopy(module)
+        compiled = CompiledProgram(module=module, config=self.config)
+        next_region_id = 0
+        for function in module.functions.values():
+            optimize_function(function)
+            if not has_annotations(function):
+                continue
+            regions = analyze_function(
+                function, self.config, module=module,
+                first_region_id=next_region_id,
+            )
+            for region in regions:
+                genext = build_generating_extension(region, self.config)
+                compiled.regions[region.region_id] = region
+                compiled.genexts[region.region_id] = genext
+                compiled.region_functions.setdefault(
+                    function.name, []
+                ).append(region.region_id)
+                self._rewrite_host(function, region)
+                next_region_id = region.region_id + 1
+            function.remove_unreachable_blocks()
+            self._strip_annotations(function)
+        return compiled
+
+    @staticmethod
+    def _rewrite_host(function, region: RegionInfo) -> None:
+        """Replace the region's entry block with a dispatch."""
+        dispatch = EnterRegion(
+            region_id=region.region_id,
+            keys=region.entry_keys,
+            exits=region.exits,
+            policy=region.entry_policy,
+        )
+        function.blocks[region.entry_block] = BasicBlock(
+            region.entry_block, [dispatch]
+        )
+
+    @staticmethod
+    def _strip_annotations(function) -> None:
+        """Remove annotation pseudo-instructions left on unspecialized
+        paths (they are no-ops at run time, but removing them keeps the
+        host clean)."""
+        for block in function.blocks.values():
+            block.instrs = [
+                instr for instr in block.instrs
+                if not isinstance(instr, (MakeStatic, MakeDynamic))
+            ]
+
+
+def compile_annotated(module: Module,
+                      config: OptConfig = ALL_ON) -> CompiledProgram:
+    """Compile ``module`` for dynamic compilation under ``config``."""
+    return DycCompiler(config).compile(module)
+
+
+def compile_static(module: Module) -> Module:
+    """The statically compiled baseline: annotations ignored (§3.3)."""
+    module = copy.deepcopy(module)
+    for function in module.functions.values():
+        DycCompiler._strip_annotations(function)
+        optimize_function(function)
+    return module

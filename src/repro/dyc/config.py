@@ -1,0 +1,15 @@
+"""Re-export of :mod:`repro.config` under the historical location.
+
+The optimization configuration lives at the package root so that
+:mod:`repro.bta` (which the DyC driver imports) can use it without a
+circular import through ``repro.dyc.__init__``.
+"""
+
+from repro.config import (  # noqa: F401
+    ALL_OFF,
+    ALL_ON,
+    OptConfig,
+    TABLE5_ABLATIONS,
+)
+
+__all__ = ["OptConfig", "ALL_ON", "ALL_OFF", "TABLE5_ABLATIONS"]

@@ -1,0 +1,368 @@
+"""Generating-extension construction (§2.1's "dynamic-compiler generator").
+
+At static compile time, each dynamic region is compiled into a
+:class:`GeneratingExtension`: per analysis context ``(block, division)``,
+a pre-planned list of *actions* — set-up evaluations interleaved with emit
+actions whose operands are already split into holes (run-time constants)
+and dynamic registers.  The runtime specializer simply interprets these
+action lists; it never re-runs the BTA or inspects the original IR, which
+is the paper's staging claim ("these functions are in effect hard-wired
+into the custom compiler for that region").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import natural_loops
+from repro.analysis.liveness import liveness
+from repro.bta.facts import (
+    ContextFacts,
+    Division,
+    EMPTY_DIVISION,
+    InstrClass,
+    PromotionPoint,
+    RegionInfo,
+)
+from repro.config import OptConfig
+from repro.dyc.plans import InstrPlan, plan_instruction
+from repro.errors import SpecializationError
+from repro.ir.instructions import (
+    Branch,
+    Instr,
+    Jump,
+    Return,
+)
+
+ContextKey = tuple[str, Division]
+
+
+# ----------------------------------------------------------------------
+# Actions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EvalAction:
+    """Execute a static computation on the static store at specialize
+    time (set-up code)."""
+
+    instr: Instr
+    klass: InstrClass  # STATIC, STATIC_LOAD, or STATIC_CALL
+
+
+@dataclass(frozen=True)
+class EmitAction:
+    """Emit a template instruction, filling holes from the static store.
+
+    ``holes`` names the register operands that are static at this point
+    and therefore become run-time-constant values; ``plan`` carries the
+    statically computed ZCP/DAE/SR plan.
+    """
+
+    instr: Instr
+    holes: frozenset[str]
+    plan: InstrPlan | None = None
+
+
+@dataclass(frozen=True)
+class ResidualAction:
+    """Materialize static variables that become dynamic here.
+
+    Emitted for ``make_dynamic``: the variables' current run-time-constant
+    values are emitted as constant moves so downstream dynamic code can
+    read them (static-to-dynamic residualization).  The analogous
+    transition at control-flow merges is handled by the specializer when
+    it transfers a static store to a successor context.
+    """
+
+    names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PromoteAction:
+    """A dynamic-to-static promotion point (§2.2.1–2.2.2).
+
+    ``emit`` is the dynamic instruction computing the promoted value
+    (``None`` for pure annotation promotions).  Specialization of the
+    current context stops here with a ``Promote`` terminator; the
+    continuation (the remaining actions of this block) is specialized
+    lazily, once per distinct tuple of promoted values.
+    """
+
+    point: PromotionPoint
+    emit: EmitAction | None = None
+
+
+Action = EvalAction | EmitAction | PromoteAction | ResidualAction
+
+
+# ----------------------------------------------------------------------
+# Terminators
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TermStatic:
+    """A branch on a static condition: folded at specialize time."""
+
+    instr: Branch
+
+
+@dataclass(frozen=True)
+class TermDynamic:
+    """A branch on a dynamic condition: emitted, both arms specialized."""
+
+    action: EmitAction
+
+
+@dataclass(frozen=True)
+class TermJump:
+    """An unconditional edge."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class TermReturn:
+    """A host-level return emitted inside the region."""
+
+    action: EmitAction
+
+
+Terminator = TermStatic | TermDynamic | TermJump | TermReturn
+
+
+#: Successor resolution: ("exit", exit_index) or ("context", context_key).
+SuccInfo = tuple[str, object]
+
+
+@dataclass
+class ActionBlock:
+    """The compiled form of one (block, division) analysis context."""
+
+    label: str
+    division: Division
+    #: Variables whose values identify a specialization context at this
+    #: block (the static variables live at entry), sorted for determinism.
+    key_vars: tuple[str, ...]
+    actions: list[Action] = field(default_factory=list)
+    terminator: Terminator | None = None
+    #: Successor label -> SuccInfo.
+    succ_info: dict[str, SuccInfo] = field(default_factory=dict)
+
+
+@dataclass
+class GeneratingExtension:
+    """The custom dynamic compiler for one region."""
+
+    region: RegionInfo
+    config: OptConfig
+    blocks: dict[ContextKey, ActionBlock] = field(default_factory=dict)
+    entry_key: ContextKey = ("", EMPTY_DIVISION)
+    #: Action index at which entry specialization starts (just after the
+    #: region-entry PromoteAction, whose values the dispatcher supplies).
+    entry_start: int = 0
+    #: Loop structure of the template, for SW/MW unrolling attribution:
+    #: header label -> frozenset of body labels.
+    loops: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def block(self, key: ContextKey) -> ActionBlock:
+        try:
+            return self.blocks[key]
+        except KeyError:
+            raise SpecializationError(
+                f"region {self.region.region_id}: no compiled context "
+                f"{key!r}"
+            ) from None
+
+    def resolve_context(self, label: str,
+                        division: Division) -> ContextKey:
+        """Find the compiled context for an edge target."""
+        if (label, division) in self.blocks:
+            return (label, division)
+        # Polyvariant division disabled (or divisions merged): a single
+        # context exists per label.
+        for key in self.blocks:
+            if key[0] == label:
+                return key
+        raise SpecializationError(
+            f"region {self.region.region_id}: no context for block "
+            f"{label!r}"
+        )
+
+
+def build_generating_extension(region: RegionInfo,
+                               config: OptConfig) -> GeneratingExtension:
+    """Compile a region's BTA facts into a generating extension."""
+    template = region.template
+    if template is None:
+        raise SpecializationError(
+            f"region {region.region_id} has no template snapshot"
+        )
+    live = liveness(template)
+    genext = GeneratingExtension(region=region, config=config)
+    genext.entry_key = (region.entry_block, EMPTY_DIVISION)
+    genext.loops = {
+        loop.header: frozenset(loop.body)
+        for loop in natural_loops(template)
+    }
+
+    exit_index = {label: i for i, label in enumerate(region.exits)}
+
+    for (label, division), facts in region.contexts.items():
+        block = template.blocks[label]
+        action_block = _compile_context(
+            region, facts, block.instrs, live.live_out[label], config
+        )
+        # Successor resolution.
+        for succ in block.successors():
+            if succ in facts.exit_successors:
+                action_block.succ_info[succ] = ("exit", exit_index[succ])
+            else:
+                succ_division = facts.succ_division.get(
+                    succ, facts.division_out
+                )
+                action_block.succ_info[succ] = (
+                    "context", (succ, succ_division)
+                )
+        genext.blocks[(label, division)] = action_block
+
+    _fix_entry_start(genext)
+    _prune_unreachable(genext)
+    return genext
+
+
+def _compile_context(region: RegionInfo, facts: ContextFacts,
+                     instrs: list[Instr], live_out: frozenset[str],
+                     config: OptConfig) -> ActionBlock:
+    action_block = ActionBlock(
+        label=facts.label,
+        division=facts.division,
+        key_vars=tuple(sorted(facts.static_in)),
+    )
+    for index, instr in enumerate(instrs):
+        klass = facts.classes[index]
+        is_terminator = index == len(instrs) - 1
+
+        if klass is InstrClass.ANNOTATION:
+            promotion = facts.promotions.get(index)
+            if promotion is not None:
+                action_block.actions.append(PromoteAction(promotion))
+            else:
+                from repro.ir.instructions import MakeDynamic
+
+                if isinstance(instr, MakeDynamic):
+                    action_block.actions.append(
+                        ResidualAction(instr.names)
+                    )
+            continue
+
+        if klass in (InstrClass.STATIC, InstrClass.STATIC_LOAD,
+                     InstrClass.STATIC_CALL):
+            action_block.actions.append(EvalAction(instr, klass))
+            continue
+
+        if klass is InstrClass.PROMOTION:
+            emit = _emit_action(instr, index, facts, instrs, live_out,
+                                config)
+            if emit.plan is not None:
+                # The promotion dispatch reads the defining
+                # instruction's result from the environment at run
+                # time, so it must never be elided — even when all its
+                # *template* uses are static computations (which fold).
+                emit = EmitAction(
+                    emit.instr, emit.holes,
+                    dataclasses.replace(emit.plan, remote=True),
+                )
+            promotion = facts.promotions[index]
+            action_block.actions.append(PromoteAction(promotion, emit))
+            continue
+
+        if klass is InstrClass.STATIC_BRANCH:
+            action_block.terminator = TermStatic(instr)
+            continue
+
+        if klass is InstrClass.DYNAMIC_BRANCH:
+            action_block.terminator = TermDynamic(
+                _emit_action(instr, index, facts, instrs, live_out,
+                             config)
+            )
+            continue
+
+        # Plain dynamic instructions (including Jump/Return terminators).
+        if isinstance(instr, Jump):
+            action_block.terminator = TermJump(instr.target)
+        elif isinstance(instr, Return):
+            action_block.terminator = TermReturn(
+                _emit_action(instr, index, facts, instrs, live_out,
+                             config)
+            )
+        elif is_terminator:
+            raise SpecializationError(
+                f"unsupported region terminator "
+                f"{type(instr).__name__} in {facts.label!r}"
+            )
+        else:
+            action_block.actions.append(
+                _emit_action(instr, index, facts, instrs, live_out,
+                             config)
+            )
+    if action_block.terminator is None:
+        raise SpecializationError(
+            f"context {facts.label!r} compiled without a terminator"
+        )
+    return action_block
+
+
+def _emit_action(instr: Instr, index: int, facts: ContextFacts,
+                 instrs: list[Instr], live_out: frozenset[str],
+                 config: OptConfig) -> EmitAction:
+    static = facts.static_before[index]
+    holes = frozenset(name for name in instr.uses() if name in static)
+    plan = plan_instruction(instr, index, facts, instrs, live_out)
+    return EmitAction(instr=instr, holes=holes, plan=plan)
+
+
+def _fix_entry_start(genext: GeneratingExtension) -> None:
+    """Locate the entry PromoteAction; entry dispatch supplies its values,
+    so entry specialization starts just after it."""
+    entry_block = genext.blocks.get(genext.entry_key)
+    if entry_block is None:
+        raise SpecializationError(
+            f"region {genext.region.region_id}: missing entry context"
+        )
+    for i, action in enumerate(entry_block.actions):
+        if isinstance(action, PromoteAction) and action.point.kind == "entry":
+            genext.entry_start = i + 1
+            return
+    genext.entry_start = 0
+
+
+def _prune_unreachable(genext: GeneratingExtension) -> None:
+    """Drop contexts not reachable from the entry context.
+
+    The BTA fixpoint can record stale contexts (division keys produced by
+    intermediate iterations); they are never specialized, so drop them to
+    keep Table 2's division counts honest.
+    """
+    reachable: set[ContextKey] = set()
+    worklist = [genext.entry_key]
+    while worklist:
+        key = worklist.pop()
+        if key in reachable or key not in genext.blocks:
+            continue
+        reachable.add(key)
+        block = genext.blocks[key]
+        for kind, payload in block.succ_info.values():
+            if kind == "context":
+                label, division = payload
+                try:
+                    worklist.append(
+                        genext.resolve_context(label, division)
+                    )
+                except SpecializationError:
+                    continue
+    genext.blocks = {
+        key: block for key, block in genext.blocks.items()
+        if key in reachable
+    }

@@ -1,0 +1,143 @@
+"""Static planning for staged dynamic optimizations (§2.2.7).
+
+Dynamic zero/copy propagation and dead-assignment elimination are staged:
+this module is the *planning* stage, run at static compile time; the
+*completion* stage lives in :mod:`repro.runtime.zcp` and runs during
+dynamic compilation using only the plans computed here plus a small note
+table — no run-time IR analysis.
+
+For each dynamic (to-be-emitted) instruction the planner records:
+
+* whether it is a ZCP candidate — a binary operation one of whose operands
+  will be a run-time constant, such that special values (0, 1) let the
+  instruction be replaced by a move or clear and then eliminated;
+* whether it is a strength-reduction candidate (multiply/divide/modulus
+  by a run-time-constant integer);
+* how many *local* downstream uses its result has among emitted
+  instructions in the same template block, and whether the result may
+  have uses beyond the block (``remote``) — the information
+  dead-assignment elimination needs to know when an emitted instruction's
+  result has become unreferenced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.liveness import LivenessResult
+from repro.bta.facts import ContextFacts, InstrClass
+from repro.ir.instructions import (
+    BinOp,
+    Instr,
+    Op,
+    Reg,
+)
+
+#: Operations eligible for value-dependent ZCP (checked at dynamic
+#: compile time by :mod:`repro.runtime.emit`).  Beyond the paper's
+#: multiply/add examples, the same staging covers the bitwise identities
+#: (x|0, x^0, x&0, shifts by 0).
+ZCP_OPS = frozenset({
+    Op.MUL, Op.ADD, Op.SUB, Op.DIV,
+    Op.OR, Op.XOR, Op.AND, Op.SHL, Op.SHR,
+})
+
+#: Operations eligible for dynamic strength reduction.
+SR_OPS = frozenset({Op.MUL, Op.DIV, Op.MOD})
+
+#: Classes of emitted instructions (everything else is folded away).
+EMITTED_CLASSES = frozenset({
+    InstrClass.DYNAMIC,
+    InstrClass.DYNAMIC_BRANCH,
+    InstrClass.PROMOTION,
+})
+
+
+@dataclass(frozen=True)
+class InstrPlan:
+    """Per-instruction plan consumed by the dynamic-compile completion
+    stage."""
+
+    #: May this instruction be optimized by zero/copy propagation once the
+    #: static operand's value is known?
+    zcp_candidate: bool
+    #: May this instruction be strength-reduced?
+    sr_candidate: bool
+    #: Number of uses of the result by emitted instructions later in the
+    #: same template block (including the terminator).
+    local_uses: int
+    #: True when the result may be used beyond this template block (live
+    #: out), in which case dead-assignment elimination must keep it.
+    remote: bool
+    #: Is the instruction removable when its result becomes unreferenced?
+    removable: bool
+
+
+def _static_operand_count(instr: BinOp, static: frozenset[str]) -> int:
+    count = 0
+    for operand in (instr.lhs, instr.rhs):
+        if not isinstance(operand, Reg) or operand.name in static:
+            count += 1
+    return count
+
+
+def plan_instruction(
+    instr: Instr,
+    index: int,
+    facts: ContextFacts,
+    block_instrs: list[Instr],
+    live_out: frozenset[str],
+) -> InstrPlan:
+    """Build the plan for one dynamic instruction of one context."""
+    static = facts.static_before[index]
+    zcp = False
+    sr = False
+    if isinstance(instr, BinOp):
+        static_operands = _static_operand_count(instr, static)
+        # A candidate has at most one static operand now — but an operand
+        # that is dynamic here may still turn out to be a run-time
+        # constant through an upstream ZCP note (the planner marks all
+        # *potential* optimizations; the value check happens at dynamic
+        # compile time, §2.2.7).
+        if static_operands <= 1:
+            zcp = instr.op in ZCP_OPS
+            sr = instr.op in SR_OPS and static_operands == 1
+
+    dests = instr.defs()
+    if not dests:
+        return InstrPlan(zcp, sr, 0, False, False)
+    dest = dests[0]
+
+    local_uses = 0
+    redefined = False
+    remote = False
+    # Promotion points split the block across separate emission batches
+    # (the continuation is specialized lazily, with a fresh note table);
+    # a use beyond a promotion point is therefore *not* local to this
+    # instruction's emitter and must pin the definition.
+    promotion_indices = sorted(
+        p for p in facts.promotions if p > index
+    )
+
+    def crosses_promotion(later_index: int) -> bool:
+        return any(p < later_index for p in promotion_indices)
+
+    for later_index in range(index + 1, len(block_instrs)):
+        later = block_instrs[later_index]
+        if facts.classes[later_index] in EMITTED_CLASSES \
+                and dest in later.uses():
+            if crosses_promotion(later_index):
+                remote = True
+            else:
+                local_uses += later.uses().count(dest)
+        if dest in later.defs():
+            redefined = True
+            break
+    remote = remote or ((not redefined) and dest in live_out)
+
+    # Pure value-producing instructions can be deleted if unreferenced;
+    # calls and stores cannot.
+    from repro.ir.instructions import Load, Move, UnOp
+
+    removable = isinstance(instr, (Move, UnOp, BinOp, Load))
+    return InstrPlan(zcp, sr, local_uses, remote, removable)

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single handler while still being
+able to distinguish front-end, IR, analysis, and runtime problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SourceError(ReproError):
+    """A problem in MiniC source code (lexing, parsing, or lowering).
+
+    Carries an optional (line, column) location for diagnostics.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line is None:
+            return self.message
+        if self.column is None:
+            return f"line {self.line}: {self.message}"
+        return f"line {self.line}, col {self.column}: {self.message}"
+
+
+class LexError(SourceError):
+    """Raised when the lexer encounters an invalid token."""
+
+
+class ParseError(SourceError):
+    """Raised when the parser encounters invalid syntax."""
+
+
+class LowerError(SourceError):
+    """Raised when AST-to-IR lowering finds a semantic problem."""
+
+
+class IRError(ReproError):
+    """Raised when an IR structure is malformed (verifier failures, etc.)."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a static analysis (BTA, dataflow) cannot proceed."""
+
+
+class BTAError(AnalysisError):
+    """Raised for binding-time-analysis-specific failures."""
+
+
+class MachineError(ReproError):
+    """Raised for runtime faults in the abstract machine."""
+
+
+class MemoryFault(MachineError):
+    """Out-of-bounds or null access in abstract-machine memory."""
+
+
+class TrapError(MachineError):
+    """Raised when executed code performs an illegal operation."""
+
+
+class SpecializationError(ReproError):
+    """Raised when the runtime specializer cannot specialize a region."""
+
+
+class AnnotationError(ReproError):
+    """Raised when annotation checking detects a violated static assertion.
+
+    DyC's ``@`` loads and ``pure`` calls are unsafe programmer assertions;
+    this error is raised only when the optional checking mode is enabled and
+    observes an annotated-invariant value changing.
+    """
+
+
+class CacheError(ReproError):
+    """Raised on code-cache misuse (e.g. cache-one-unchecked key change)."""

@@ -1,0 +1,36 @@
+"""Experiment harness: reproduces the paper's Tables 1–5.
+
+* :mod:`repro.evalharness.runner` — run one workload (static baseline +
+  dynamically compiled) under a given :class:`~repro.config.OptConfig`,
+  with output verification and cycle accounting;
+* :mod:`repro.evalharness.metrics` — asymptotic speedup, break-even
+  point, overhead per generated instruction (§4.2's definitions);
+* :mod:`repro.evalharness.tables` — builders and text renderers for each
+  table;
+* ``python -m repro.evalharness <table1|table2|table3|table4|table5|all>``
+  regenerates them from scratch.
+"""
+
+from repro.evalharness.metrics import RegionMetrics, breakeven_point
+from repro.evalharness.runner import RunResult, run_workload
+from repro.evalharness.tables import (
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    build_table5,
+    render_table,
+)
+
+__all__ = [
+    "RegionMetrics",
+    "breakeven_point",
+    "RunResult",
+    "run_workload",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "build_table4",
+    "build_table5",
+    "render_table",
+]

@@ -1,0 +1,92 @@
+"""Regenerate the paper's tables: ``python -m repro.evalharness [what]``.
+
+``what`` is one of ``table1`` … ``table5``, ``dispatch`` (the §4.4.3
+dispatch-cost measurements), or ``all`` (default).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.config import ALL_ON
+from repro.evalharness.tables import (
+    Table,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    build_table5,
+    render_table,
+    run_all,
+)
+from repro.workloads import APPLICATIONS
+
+
+def _emit(table: Table) -> None:
+    print()
+    print(render_table(table))
+
+
+def build_dispatch_table(results) -> Table:
+    """§4.4.3: unchecked vs hash-based dispatch costs."""
+    table = Table(
+        title="Dispatch Costs (Section 4.4.3)",
+        headers=["Dynamic Region", "Policy", "Dispatches",
+                 "Avg Cycles/Dispatch"],
+    )
+    for name, result in results.items():
+        for region_id, stats in sorted(result.region_stats.items()):
+            if not stats.dispatches:
+                continue
+            policy = ("cache_one_unchecked" if stats.unchecked_dispatches
+                      else "cache_all")
+            table.rows.append([
+                f"{name} (region {region_id})",
+                policy,
+                str(stats.dispatches),
+                f"{stats.dispatch_cycles / stats.dispatches:.0f}",
+            ])
+    return table
+
+
+def main(argv: list[str]) -> int:
+    what = argv[0] if argv else "all"
+    start = time.time()
+
+    if what in ("table1", "all"):
+        _emit(build_table1())
+    if what in ("table2", "table3", "table4", "dispatch", "all"):
+        results = run_all(ALL_ON)
+        if what in ("table2", "all"):
+            _emit(build_table2(results))
+        if what in ("table3", "all"):
+            _emit(build_table3(results))
+        if what in ("table4", "all"):
+            app_results = {
+                w.name: results[w.name] for w in APPLICATIONS
+            }
+            _emit(build_table4(app_results))
+        if what in ("dispatch", "all"):
+            _emit(build_dispatch_table(results))
+        if what in ("table5", "all"):
+            def progress(workload: str, ablation: str) -> None:
+                print(f"  [table5] {workload} without {ablation} ...",
+                      file=sys.stderr)
+            _emit(build_table5(results, progress=progress))
+    elif what == "table5":
+        def progress(workload: str, ablation: str) -> None:
+            print(f"  [table5] {workload} without {ablation} ...",
+                  file=sys.stderr)
+        _emit(build_table5(progress=progress))
+    elif what not in ("table1",):
+        print(f"unknown target {what!r}; use table1..table5, "
+              "dispatch, or all", file=sys.stderr)
+        return 2
+
+    print(f"\n[{time.time() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

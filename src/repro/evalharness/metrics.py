@@ -1,0 +1,70 @@
+"""The paper's performance metrics (§4.2).
+
+* **Asymptotic speedup** — ``s / d``: statically compiled execution
+  cycles over dynamically compiled execution cycles, *excluding* dynamic
+  compilation overhead (dispatch overhead, which recurs per execution,
+  is part of ``d``).
+* **Break-even point** — ``o / (s − d)``: the number of region
+  executions at which static and dynamic versions (including dynamic
+  compilation overhead ``o``) cost the same.
+* **DC overhead per instruction** — ``o`` divided by the number of
+  dynamically generated instructions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RegionMetrics:
+    """Per-region measurements, per invocation where applicable."""
+
+    name: str
+    region_label: str
+    static_cycles_per_invocation: float
+    dynamic_cycles_per_invocation: float
+    dc_overhead_cycles: float
+    instructions_generated: int
+    invocations: int
+    breakeven_unit: str
+    units_per_invocation: float
+
+    @property
+    def asymptotic_speedup(self) -> float:
+        if self.dynamic_cycles_per_invocation == 0:
+            return math.inf
+        return (self.static_cycles_per_invocation
+                / self.dynamic_cycles_per_invocation)
+
+    @property
+    def breakeven_invocations(self) -> float:
+        return breakeven_point(
+            self.static_cycles_per_invocation,
+            self.dynamic_cycles_per_invocation,
+            self.dc_overhead_cycles,
+        )
+
+    @property
+    def breakeven_units(self) -> float:
+        return self.breakeven_invocations * self.units_per_invocation
+
+    @property
+    def overhead_per_instruction(self) -> float:
+        if not self.instructions_generated:
+            return 0.0
+        return self.dc_overhead_cycles / self.instructions_generated
+
+
+def breakeven_point(static_cycles: float, dynamic_cycles: float,
+                    overhead_cycles: float) -> float:
+    """Executions needed before dynamic compilation pays for itself.
+
+    Returns ``inf`` when the dynamic version is not faster (it never
+    breaks even).
+    """
+    gain = static_cycles - dynamic_cycles
+    if gain <= 0:
+        return math.inf
+    return overhead_cycles / gain

@@ -1,0 +1,27 @@
+"""MiniC: the small C-like annotated language used to write workloads.
+
+MiniC plays the role of C in the paper.  It supports DyC's annotation
+vocabulary directly in the syntax:
+
+* ``make_static(x, y);`` — begin polyvariant specialization on variables
+  (optionally with a cache policy: ``make_static(x) : cache_one_unchecked;``)
+* ``make_dynamic(x);`` — stop specializing on a variable
+* ``a@[i]`` — a *static load* (the ``@`` annotation of §2.2.6)
+* ``pure func f(...)`` — a *static call* target (§2.2.6)
+
+The pipeline is ``source → tokens → AST → IR``::
+
+    from repro.frontend import compile_source
+    module = compile_source(src_text)
+"""
+
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse_program
+from repro.frontend.lower import lower_program, compile_source
+
+__all__ = [
+    "tokenize",
+    "parse_program",
+    "lower_program",
+    "compile_source",
+]

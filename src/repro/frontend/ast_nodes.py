@@ -1,0 +1,172 @@
+"""Abstract syntax tree for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base AST node; every node records its source line for diagnostics."""
+
+    line: int
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NumberLit(Node):
+    value: int | float
+
+
+@dataclass(frozen=True)
+class VarRef(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str                 # '-', '!'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str                 # '+', '-', '*', '/', '%', '&', ... '==', '<' ...
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass(frozen=True)
+class LogicalAnd(Node):
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass(frozen=True)
+class LogicalOr(Node):
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    """``base[index]`` — a load; ``static`` marks DyC's ``base@[index]``."""
+
+    base: "Expr"
+    index: "Expr"
+    static: bool = False
+
+
+@dataclass(frozen=True)
+class CallExpr(Node):
+    callee: str
+    args: tuple["Expr", ...]
+
+
+Expr = (NumberLit | VarRef | Unary | Binary | LogicalAnd | LogicalOr
+        | Index | CallExpr)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VarDecl(Node):
+    name: str
+    init: Expr | None
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    """``name = expr;``"""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class StoreStmt(Node):
+    """``base[index] = expr;``"""
+
+    base: Expr
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt(Node):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If(Node):
+    cond: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...] = ()
+
+
+@dataclass(frozen=True)
+class While(Node):
+    cond: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class For(Node):
+    init: "Stmt | None"
+    cond: Expr | None
+    step: "Stmt | None"
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Expr | None
+
+
+@dataclass(frozen=True)
+class Break(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class MakeStaticStmt(Node):
+    """``make_static(a, b) : policy;`` — DyC's central annotation."""
+
+    names: tuple[str, ...]
+    policy: str = "cache_all"
+
+
+@dataclass(frozen=True)
+class MakeDynamicStmt(Node):
+    names: tuple[str, ...]
+
+
+Stmt = (VarDecl | Assign | StoreStmt | ExprStmt | If | While | For
+        | Return | Break | Continue | MakeStaticStmt | MakeDynamicStmt)
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FuncDef(Node):
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    pure: bool = False
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    functions: tuple[FuncDef, ...] = field(default=())

@@ -1,0 +1,150 @@
+"""Hand-written lexer for MiniC."""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.frontend.tokens import KEYWORDS, Token, TokenType
+
+_TWO_CHAR = {
+    "==": TokenType.EQ,
+    "!=": TokenType.NE,
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+    "<<": TokenType.SHL,
+    ">>": TokenType.SHR,
+    "&&": TokenType.ANDAND,
+    "||": TokenType.OROR,
+    "@[": TokenType.AT_LBRACKET,
+}
+
+_ONE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    ":": TokenType.COLON,
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "&": TokenType.AMP,
+    "|": TokenType.PIPE,
+    "^": TokenType.CARET,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "!": TokenType.BANG,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex MiniC source into a token list terminated by an EOF token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < length:
+        ch = source[pos]
+
+        # Whitespace / newlines
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if ch == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+
+        # Comments: // to end of line, /* ... */ possibly multi-line
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end == -1 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line, column())
+            line += source.count("\n", pos, end)
+            newline = source.rfind("\n", pos, end)
+            if newline != -1:
+                line_start = newline + 1
+            pos = end + 2
+            continue
+
+        start_col = column()
+
+        # Numbers
+        if ch.isdigit() or (ch == "." and pos + 1 < length
+                            and source[pos + 1].isdigit()):
+            tokens.append(_lex_number(source, pos, line, start_col))
+            pos += len(tokens[-1].text)
+            continue
+
+        # Identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (source[end].isalnum()
+                                    or source[end] == "_"):
+                end += 1
+            text = source[pos:end]
+            token_type = KEYWORDS.get(text, TokenType.IDENT)
+            tokens.append(Token(token_type, text, line, start_col))
+            pos = end
+            continue
+
+        # Two-character operators (incl. the @[ static-load marker)
+        pair = source[pos:pos + 2]
+        if pair in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[pair], pair, line, start_col))
+            pos += 2
+            continue
+
+        if ch in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[ch], ch, line, start_col))
+            pos += 1
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", line, start_col)
+
+    tokens.append(Token(TokenType.EOF, "", line, column()))
+    return tokens
+
+
+def _lex_number(source: str, pos: int, line: int, col: int) -> Token:
+    end = pos
+    length = len(source)
+    is_float = False
+    while end < length and source[end].isdigit():
+        end += 1
+    if end < length and source[end] == ".":
+        is_float = True
+        end += 1
+        while end < length and source[end].isdigit():
+            end += 1
+    if end < length and source[end] in "eE":
+        exp_end = end + 1
+        if exp_end < length and source[exp_end] in "+-":
+            exp_end += 1
+        if exp_end < length and source[exp_end].isdigit():
+            is_float = True
+            end = exp_end
+            while end < length and source[end].isdigit():
+                end += 1
+    text = source[pos:end]
+    try:
+        value: int | float = float(text) if is_float else int(text)
+    except ValueError:
+        raise LexError(f"malformed number {text!r}", line, col) from None
+    token_type = TokenType.FLOAT if is_float else TokenType.INT
+    return Token(token_type, text, line, col, value=value)

@@ -1,0 +1,297 @@
+"""AST-to-IR lowering for MiniC."""
+
+from __future__ import annotations
+
+from repro.errors import LowerError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse_program
+from repro.ir import FunctionBuilder, Imm, Module, Op, Operand, verify_module
+from repro.machine.intrinsics import INTRINSICS
+
+_BINARY_OPS = {
+    "+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.MOD,
+    "&": Op.AND, "|": Op.OR, "^": Op.XOR, "<<": Op.SHL, ">>": Op.SHR,
+    "==": Op.EQ, "!=": Op.NE, "<": Op.LT, "<=": Op.LE,
+    ">": Op.GT, ">=": Op.GE,
+}
+
+
+class _FunctionLowerer:
+    """Lowers one function body into a :class:`FunctionBuilder`."""
+
+    def __init__(self, func: ast.FuncDef, pure_functions: frozenset[str]):
+        self.func = func
+        self.pure_functions = pure_functions
+        self.builder = FunctionBuilder(func.name, func.params)
+        # Stacks of (break_target, continue_target) for loop lowering.
+        self.loop_targets: list[tuple[str, str]] = []
+
+    def lower(self):
+        self._lower_statements(self.func.body)
+        if not self.builder.terminated:
+            self.builder.ret(0)
+        function = self.builder.finish()
+        function.remove_unreachable_blocks()
+        return function
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _lower_statements(self, statements) -> None:
+        for statement in statements:
+            if self.builder.terminated:
+                # Unreachable code after return/break; lower it into a
+                # fresh block that dead-block removal will discard.
+                self.builder.label(self.builder.fresh_label("dead"))
+            self._lower_statement(statement)
+
+    def _lower_statement(self, stmt: ast.Stmt) -> None:
+        b = self.builder
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._lower_assign(stmt.name, stmt.init)
+            else:
+                b.move(stmt.name, Imm(0))
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt.name, stmt.value)
+        elif isinstance(stmt, ast.StoreStmt):
+            addr = self._lower_address(stmt.base, stmt.index)
+            b.store(addr, self._lower_expr(stmt.value))
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr_for_effect(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            value = None if stmt.value is None \
+                else self._lower_expr(stmt.value)
+            b.ret(value)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_targets:
+                raise LowerError("break outside a loop", stmt.line)
+            b.jump(self.loop_targets[-1][0])
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_targets:
+                raise LowerError("continue outside a loop", stmt.line)
+            b.jump(self.loop_targets[-1][1])
+        elif isinstance(stmt, ast.MakeStaticStmt):
+            b.make_static(*stmt.names, policy=stmt.policy)
+        elif isinstance(stmt, ast.MakeDynamicStmt):
+            b.make_dynamic(*stmt.names)
+        else:  # pragma: no cover - exhaustive
+            raise LowerError(
+                f"cannot lower {type(stmt).__name__}", stmt.line
+            )
+
+    def _lower_assign(self, name: str, value: ast.Expr) -> None:
+        """Lower ``name = value`` computing directly into ``name`` where
+        possible (avoids a temp-plus-move that a register allocator would
+        otherwise coalesce)."""
+        b = self.builder
+        if isinstance(value, ast.Binary):
+            lhs = self._lower_expr(value.lhs)
+            rhs = self._lower_expr(value.rhs)
+            b.binop(name, _BINARY_OPS[value.op], lhs, rhs)
+            return
+        if isinstance(value, ast.Unary):
+            operand = self._lower_expr(value.operand)
+            op = Op.NEG if value.op == "-" else Op.NOT
+            b.unop(name, op, operand)
+            return
+        if isinstance(value, ast.Index):
+            addr = self._lower_address(value.base, value.index,
+                                       static=value.static)
+            b.load(name, addr, static=value.static)
+            return
+        if isinstance(value, ast.CallExpr):
+            self._lower_call(value, name)
+            return
+        b.move(name, self._lower_expr(value))
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        b = self.builder
+        then_label = b.fresh_label("then")
+        join_label = b.fresh_label("endif")
+        else_label = b.fresh_label("else") if stmt.else_body else join_label
+        cond = self._lower_expr(stmt.cond)
+        b.branch(cond, then_label, else_label)
+
+        b.label(then_label)
+        self._lower_statements(stmt.then_body)
+        if not b.terminated:
+            b.jump(join_label)
+
+        if stmt.else_body:
+            b.label(else_label)
+            self._lower_statements(stmt.else_body)
+            if not b.terminated:
+                b.jump(join_label)
+
+        b.label(join_label)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        b = self.builder
+        head = b.fresh_label("while_head")
+        body = b.fresh_label("while_body")
+        done = b.fresh_label("while_done")
+        b.jump(head)
+        b.label(head)
+        cond = self._lower_expr(stmt.cond)
+        b.branch(cond, body, done)
+        b.label(body)
+        self.loop_targets.append((done, head))
+        self._lower_statements(stmt.body)
+        self.loop_targets.pop()
+        if not b.terminated:
+            b.jump(head)
+        b.label(done)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        b = self.builder
+        head = b.fresh_label("for_head")
+        body = b.fresh_label("for_body")
+        step = b.fresh_label("for_step")
+        done = b.fresh_label("for_done")
+        if stmt.init is not None:
+            self._lower_statement(stmt.init)
+        b.jump(head)
+        b.label(head)
+        if stmt.cond is not None:
+            cond = self._lower_expr(stmt.cond)
+            b.branch(cond, body, done)
+        else:
+            b.jump(body)
+        b.label(body)
+        self.loop_targets.append((done, step))
+        self._lower_statements(stmt.body)
+        self.loop_targets.pop()
+        if not b.terminated:
+            b.jump(step)
+        b.label(step)
+        if stmt.step is not None:
+            self._lower_statement(stmt.step)
+        b.jump(head)
+        b.label(done)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr) -> Operand:
+        b = self.builder
+        if isinstance(expr, ast.NumberLit):
+            return Imm(expr.value)
+        if isinstance(expr, ast.VarRef):
+            from repro.ir import Reg
+            return Reg(expr.name)
+        if isinstance(expr, ast.Unary):
+            operand = self._lower_expr(expr.operand)
+            dest = b.fresh_temp()
+            op = Op.NEG if expr.op == "-" else Op.NOT
+            b.unop(dest, op, operand)
+            from repro.ir import Reg
+            return Reg(dest)
+        if isinstance(expr, ast.Binary):
+            lhs = self._lower_expr(expr.lhs)
+            rhs = self._lower_expr(expr.rhs)
+            dest = b.fresh_temp()
+            b.binop(dest, _BINARY_OPS[expr.op], lhs, rhs)
+            from repro.ir import Reg
+            return Reg(dest)
+        if isinstance(expr, ast.LogicalAnd):
+            return self._lower_short_circuit(expr, is_and=True)
+        if isinstance(expr, ast.LogicalOr):
+            return self._lower_short_circuit(expr, is_and=False)
+        if isinstance(expr, ast.Index):
+            addr = self._lower_address(expr.base, expr.index,
+                                       static=expr.static)
+            dest = b.fresh_temp()
+            b.load(dest, addr, static=expr.static)
+            from repro.ir import Reg
+            return Reg(dest)
+        if isinstance(expr, ast.CallExpr):
+            dest = b.fresh_temp()
+            self._lower_call(expr, dest)
+            from repro.ir import Reg
+            return Reg(dest)
+        raise LowerError(
+            f"cannot lower expression {type(expr).__name__}", expr.line
+        )
+
+    def _lower_expr_for_effect(self, expr: ast.Expr) -> None:
+        """Lower an expression statement (result discarded)."""
+        if isinstance(expr, ast.CallExpr):
+            self._lower_call(expr, dest=None)
+        else:
+            self._lower_expr(expr)
+
+    def _lower_call(self, expr: ast.CallExpr, dest: str | None) -> None:
+        args = [self._lower_expr(a) for a in expr.args]
+        callee = expr.callee
+        intrinsic = INTRINSICS.get(callee)
+        is_pure = callee in self.pure_functions or (
+            intrinsic is not None and intrinsic.pure
+        )
+        self.builder.call(dest, callee, args, static=is_pure)
+
+    def _lower_short_circuit(self, expr, is_and: bool) -> Operand:
+        """Lower ``a && b`` / ``a || b`` with C short-circuit semantics."""
+        b = self.builder
+        from repro.ir import Reg
+        dest = b.fresh_temp("bool")
+        rhs_label = b.fresh_label("sc_rhs")
+        short_label = b.fresh_label("sc_short")
+        join_label = b.fresh_label("sc_join")
+
+        lhs = self._lower_expr(expr.lhs)
+        if is_and:
+            b.branch(lhs, rhs_label, short_label)
+        else:
+            b.branch(lhs, short_label, rhs_label)
+
+        b.label(rhs_label)
+        rhs = self._lower_expr(expr.rhs)
+        b.binop(dest, Op.NE, rhs, Imm(0))
+        b.jump(join_label)
+
+        b.label(short_label)
+        b.move(dest, Imm(0) if is_and else Imm(1))
+        b.jump(join_label)
+
+        b.label(join_label)
+        return Reg(dest)
+
+    def _lower_address(self, base: ast.Expr, index: ast.Expr,
+                       static: bool = False) -> Operand:
+        """Compute ``base + index`` as the flat-memory address."""
+        b = self.builder
+        base_operand = self._lower_expr(base)
+        index_operand = self._lower_expr(index)
+        if isinstance(index_operand, Imm) and index_operand.value == 0:
+            return base_operand
+        dest = b.fresh_temp("addr")
+        b.binop(dest, Op.ADD, base_operand, index_operand)
+        from repro.ir import Reg
+        return Reg(dest)
+
+
+def lower_program(program: ast.Program) -> Module:
+    """Lower a parsed program into an IR module."""
+    pure_functions = frozenset(
+        f.name for f in program.functions if f.pure
+    )
+    module = Module()
+    for func in program.functions:
+        lowered = _FunctionLowerer(func, pure_functions).lower()
+        module.add_function(lowered)
+    verify_module(module)
+    return module
+
+
+def compile_source(source: str) -> Module:
+    """Compile MiniC source text to an (unoptimized) IR module."""
+    return lower_program(parse_program(source))

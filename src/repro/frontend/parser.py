@@ -1,0 +1,407 @@
+"""Recursive-descent parser for MiniC.
+
+Expression grammar (loosest to tightest, all left-associative):
+
+    logical_or:    a || b
+    logical_and:   a && b
+    bit_or:        a | b
+    bit_xor:       a ^ b
+    bit_and:       a & b
+    equality:      a == b, a != b
+    relational:    a < b, a <= b, a > b, a >= b
+    shift:         a << b, a >> b
+    additive:      a + b, a - b
+    multiplicative a * b, a / b, a % b
+    unary:         -a, !a
+    postfix:       a[i], a@[i], f(args)
+    primary:       number, identifier, (expr)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import Token, TokenType
+
+_EQUALITY = {TokenType.EQ: "==", TokenType.NE: "!="}
+_RELATIONAL = {
+    TokenType.LT: "<", TokenType.LE: "<=",
+    TokenType.GT: ">", TokenType.GE: ">=",
+}
+_SHIFT = {TokenType.SHL: "<<", TokenType.SHR: ">>"}
+_ADDITIVE = {TokenType.PLUS: "+", TokenType.MINUS: "-"}
+_MULTIPLICATIVE = {
+    TokenType.STAR: "*", TokenType.SLASH: "/", TokenType.PERCENT: "%",
+}
+
+#: Cache policies accepted after ``make_static(...) :``  (§2.2.3).
+CACHE_POLICIES = frozenset({
+    "cache_all", "cache_one_unchecked", "cache_indexed",
+})
+
+
+class Parser:
+    """A single-pass recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def check(self, token_type: TokenType) -> bool:
+        return self.current.type is token_type
+
+    def accept(self, token_type: TokenType) -> Token | None:
+        if self.check(token_type):
+            token = self.current
+            self.pos += 1
+            return token
+        return None
+
+    def expect(self, token_type: TokenType, context: str = "") -> Token:
+        token = self.accept(token_type)
+        if token is None:
+            where = f" in {context}" if context else ""
+            raise ParseError(
+                f"expected {token_type.value!r}{where}, "
+                f"found {self.current.text!r}",
+                self.current.line, self.current.column,
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions: list[ast.FuncDef] = []
+        while not self.check(TokenType.EOF):
+            functions.append(self.parse_function())
+        return ast.Program(line=1, functions=tuple(functions))
+
+    def parse_function(self) -> ast.FuncDef:
+        pure = self.accept(TokenType.PURE) is not None
+        start = self.expect(TokenType.FUNC, "function definition")
+        name = self.expect(TokenType.IDENT, "function name").text
+        self.expect(TokenType.LPAREN, "parameter list")
+        params: list[str] = []
+        if not self.check(TokenType.RPAREN):
+            params.append(self.expect(TokenType.IDENT, "parameter").text)
+            while self.accept(TokenType.COMMA):
+                params.append(
+                    self.expect(TokenType.IDENT, "parameter").text
+                )
+        self.expect(TokenType.RPAREN, "parameter list")
+        body = self.parse_block()
+        return ast.FuncDef(line=start.line, name=name,
+                           params=tuple(params), body=body, pure=pure)
+
+    def parse_block(self) -> tuple[ast.Stmt, ...]:
+        self.expect(TokenType.LBRACE, "block")
+        statements: list[ast.Stmt] = []
+        while not self.check(TokenType.RBRACE):
+            if self.check(TokenType.EOF):
+                raise ParseError("unterminated block",
+                                 self.current.line, self.current.column)
+            statements.append(self.parse_statement())
+        self.expect(TokenType.RBRACE, "block")
+        return tuple(statements)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.type is TokenType.VAR:
+            return self._parse_var_decl()
+        if token.type is TokenType.IF:
+            return self._parse_if()
+        if token.type is TokenType.WHILE:
+            return self._parse_while()
+        if token.type is TokenType.FOR:
+            return self._parse_for()
+        if token.type is TokenType.RETURN:
+            return self._parse_return()
+        if token.type is TokenType.BREAK:
+            self.pos += 1
+            self.expect(TokenType.SEMICOLON, "break")
+            return ast.Break(line=token.line)
+        if token.type is TokenType.CONTINUE:
+            self.pos += 1
+            self.expect(TokenType.SEMICOLON, "continue")
+            return ast.Continue(line=token.line)
+        if token.type is TokenType.MAKE_STATIC:
+            return self._parse_make_static()
+        if token.type is TokenType.MAKE_DYNAMIC:
+            return self._parse_make_dynamic()
+        return self._parse_simple_statement()
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        start = self.expect(TokenType.VAR)
+        name = self.expect(TokenType.IDENT, "var declaration").text
+        init = None
+        if self.accept(TokenType.ASSIGN):
+            init = self.parse_expression()
+        self.expect(TokenType.SEMICOLON, "var declaration")
+        return ast.VarDecl(line=start.line, name=name, init=init)
+
+    def _parse_if(self) -> ast.If:
+        start = self.expect(TokenType.IF)
+        self.expect(TokenType.LPAREN, "if condition")
+        cond = self.parse_expression()
+        self.expect(TokenType.RPAREN, "if condition")
+        then_body = self.parse_block()
+        else_body: tuple[ast.Stmt, ...] = ()
+        if self.accept(TokenType.ELSE):
+            if self.check(TokenType.IF):
+                else_body = (self._parse_if(),)
+            else:
+                else_body = self.parse_block()
+        return ast.If(line=start.line, cond=cond,
+                      then_body=then_body, else_body=else_body)
+
+    def _parse_while(self) -> ast.While:
+        start = self.expect(TokenType.WHILE)
+        self.expect(TokenType.LPAREN, "while condition")
+        cond = self.parse_expression()
+        self.expect(TokenType.RPAREN, "while condition")
+        body = self.parse_block()
+        return ast.While(line=start.line, cond=cond, body=body)
+
+    def _parse_for(self) -> ast.For:
+        start = self.expect(TokenType.FOR)
+        self.expect(TokenType.LPAREN, "for header")
+        init: ast.Stmt | None = None
+        if not self.check(TokenType.SEMICOLON):
+            init = self._parse_simple_clause()
+        self.expect(TokenType.SEMICOLON, "for header")
+        cond: ast.Expr | None = None
+        if not self.check(TokenType.SEMICOLON):
+            cond = self.parse_expression()
+        self.expect(TokenType.SEMICOLON, "for header")
+        step: ast.Stmt | None = None
+        if not self.check(TokenType.RPAREN):
+            step = self._parse_simple_clause()
+        self.expect(TokenType.RPAREN, "for header")
+        body = self.parse_block()
+        return ast.For(line=start.line, init=init, cond=cond,
+                       step=step, body=body)
+
+    def _parse_return(self) -> ast.Return:
+        start = self.expect(TokenType.RETURN)
+        value = None
+        if not self.check(TokenType.SEMICOLON):
+            value = self.parse_expression()
+        self.expect(TokenType.SEMICOLON, "return")
+        return ast.Return(line=start.line, value=value)
+
+    def _parse_make_static(self) -> ast.MakeStaticStmt:
+        start = self.expect(TokenType.MAKE_STATIC)
+        self.expect(TokenType.LPAREN, "make_static")
+        names = [self.expect(TokenType.IDENT, "make_static").text]
+        while self.accept(TokenType.COMMA):
+            names.append(self.expect(TokenType.IDENT, "make_static").text)
+        self.expect(TokenType.RPAREN, "make_static")
+        policy = "cache_all"
+        if self.accept(TokenType.COLON):
+            policy_token = self.expect(TokenType.IDENT, "cache policy")
+            if policy_token.text not in CACHE_POLICIES:
+                raise ParseError(
+                    f"unknown cache policy {policy_token.text!r} "
+                    f"(expected one of {sorted(CACHE_POLICIES)})",
+                    policy_token.line, policy_token.column,
+                )
+            policy = policy_token.text
+        self.expect(TokenType.SEMICOLON, "make_static")
+        return ast.MakeStaticStmt(line=start.line, names=tuple(names),
+                                  policy=policy)
+
+    def _parse_make_dynamic(self) -> ast.MakeDynamicStmt:
+        start = self.expect(TokenType.MAKE_DYNAMIC)
+        self.expect(TokenType.LPAREN, "make_dynamic")
+        names = [self.expect(TokenType.IDENT, "make_dynamic").text]
+        while self.accept(TokenType.COMMA):
+            names.append(self.expect(TokenType.IDENT, "make_dynamic").text)
+        self.expect(TokenType.RPAREN, "make_dynamic")
+        self.expect(TokenType.SEMICOLON, "make_dynamic")
+        return ast.MakeDynamicStmt(line=start.line, names=tuple(names))
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        statement = self._parse_simple_clause()
+        self.expect(TokenType.SEMICOLON, "statement")
+        return statement
+
+    def _parse_simple_clause(self) -> ast.Stmt:
+        """An assignment, store, or expression (no trailing semicolon).
+
+        Used directly for ``for`` init/step clauses.
+        """
+        line = self.current.line
+        expr = self.parse_expression()
+        if self.accept(TokenType.ASSIGN):
+            value = self.parse_expression()
+            if isinstance(expr, ast.VarRef):
+                return ast.Assign(line=line, name=expr.name, value=value)
+            if isinstance(expr, ast.Index):
+                if expr.static:
+                    raise ParseError(
+                        "cannot assign through a static (@) load",
+                        line,
+                    )
+                return ast.StoreStmt(line=line, base=expr.base,
+                                     index=expr.index, value=value)
+            raise ParseError("invalid assignment target", line)
+        return ast.ExprStmt(line=line, expr=expr)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_logical_or()
+
+    def _parse_logical_or(self) -> ast.Expr:
+        expr = self._parse_logical_and()
+        while self.accept(TokenType.OROR):
+            rhs = self._parse_logical_and()
+            expr = ast.LogicalOr(line=expr.line, lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_logical_and(self) -> ast.Expr:
+        expr = self._parse_bit_or()
+        while self.accept(TokenType.ANDAND):
+            rhs = self._parse_bit_or()
+            expr = ast.LogicalAnd(line=expr.line, lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_bit_or(self) -> ast.Expr:
+        expr = self._parse_bit_xor()
+        while self.accept(TokenType.PIPE):
+            rhs = self._parse_bit_xor()
+            expr = ast.Binary(line=expr.line, op="|", lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_bit_xor(self) -> ast.Expr:
+        expr = self._parse_bit_and()
+        while self.accept(TokenType.CARET):
+            rhs = self._parse_bit_and()
+            expr = ast.Binary(line=expr.line, op="^", lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_bit_and(self) -> ast.Expr:
+        expr = self._parse_equality()
+        while self.accept(TokenType.AMP):
+            rhs = self._parse_equality()
+            expr = ast.Binary(line=expr.line, op="&", lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_equality(self) -> ast.Expr:
+        expr = self._parse_relational()
+        while self.current.type in _EQUALITY:
+            op = _EQUALITY[self.current.type]
+            self.pos += 1
+            rhs = self._parse_relational()
+            expr = ast.Binary(line=expr.line, op=op, lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_relational(self) -> ast.Expr:
+        expr = self._parse_shift()
+        while self.current.type in _RELATIONAL:
+            op = _RELATIONAL[self.current.type]
+            self.pos += 1
+            rhs = self._parse_shift()
+            expr = ast.Binary(line=expr.line, op=op, lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_shift(self) -> ast.Expr:
+        expr = self._parse_additive()
+        while self.current.type in _SHIFT:
+            op = _SHIFT[self.current.type]
+            self.pos += 1
+            rhs = self._parse_additive()
+            expr = ast.Binary(line=expr.line, op=op, lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_additive(self) -> ast.Expr:
+        expr = self._parse_multiplicative()
+        while self.current.type in _ADDITIVE:
+            op = _ADDITIVE[self.current.type]
+            self.pos += 1
+            rhs = self._parse_multiplicative()
+            expr = ast.Binary(line=expr.line, op=op, lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while self.current.type in _MULTIPLICATIVE:
+            op = _MULTIPLICATIVE[self.current.type]
+            self.pos += 1
+            rhs = self._parse_unary()
+            expr = ast.Binary(line=expr.line, op=op, lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.type is TokenType.MINUS:
+            self.pos += 1
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op="-", operand=operand)
+        if token.type is TokenType.BANG:
+            self.pos += 1
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op="!", operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.accept(TokenType.LBRACKET):
+                index = self.parse_expression()
+                self.expect(TokenType.RBRACKET, "index")
+                expr = ast.Index(line=expr.line, base=expr, index=index)
+            elif self.accept(TokenType.AT_LBRACKET):
+                index = self.parse_expression()
+                self.expect(TokenType.RBRACKET, "static index")
+                expr = ast.Index(line=expr.line, base=expr, index=index,
+                                 static=True)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.type in (TokenType.INT, TokenType.FLOAT):
+            self.pos += 1
+            return ast.NumberLit(line=token.line, value=token.value)
+        if token.type is TokenType.IDENT:
+            self.pos += 1
+            if self.accept(TokenType.LPAREN):
+                args: list[ast.Expr] = []
+                if not self.check(TokenType.RPAREN):
+                    args.append(self.parse_expression())
+                    while self.accept(TokenType.COMMA):
+                        args.append(self.parse_expression())
+                self.expect(TokenType.RPAREN, "call")
+                return ast.CallExpr(line=token.line, callee=token.text,
+                                    args=tuple(args))
+            return ast.VarRef(line=token.line, name=token.text)
+        if self.accept(TokenType.LPAREN):
+            expr = self.parse_expression()
+            self.expect(TokenType.RPAREN, "parenthesized expression")
+            return expr
+        raise ParseError(
+            f"unexpected token {token.text!r}", token.line, token.column
+        )
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse MiniC source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

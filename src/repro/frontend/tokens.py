@@ -1,0 +1,93 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    # Literals and names
+    INT = "int"
+    FLOAT = "float"
+    IDENT = "ident"
+
+    # Keywords
+    FUNC = "func"
+    PURE = "pure"
+    VAR = "var"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    FOR = "for"
+    RETURN = "return"
+    BREAK = "break"
+    CONTINUE = "continue"
+    MAKE_STATIC = "make_static"
+    MAKE_DYNAMIC = "make_dynamic"
+
+    # Punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    AT_LBRACKET = "@["
+    COMMA = ","
+    SEMICOLON = ";"
+    COLON = ":"
+
+    # Operators
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    SHL = "<<"
+    SHR = ">>"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    ANDAND = "&&"
+    OROR = "||"
+    BANG = "!"
+
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "func": TokenType.FUNC,
+    "pure": TokenType.PURE,
+    "var": TokenType.VAR,
+    "if": TokenType.IF,
+    "else": TokenType.ELSE,
+    "while": TokenType.WHILE,
+    "for": TokenType.FOR,
+    "return": TokenType.RETURN,
+    "break": TokenType.BREAK,
+    "continue": TokenType.CONTINUE,
+    "make_static": TokenType.MAKE_STATIC,
+    "make_dynamic": TokenType.MAKE_DYNAMIC,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token with its source position (1-based line/column)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+    value: int | float | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.type.name}({self.text!r})@{self.line}:{self.column}"

@@ -1,0 +1,76 @@
+"""Three-address intermediate representation used throughout the system.
+
+The IR models a mid-level compiler representation comparable to the point in
+the Multiflow pipeline where DyC operates: after traditional optimization,
+before register allocation.  Programs are :class:`Module` objects containing
+:class:`Function` objects, each a control-flow graph of :class:`BasicBlock`
+objects holding three-address :class:`Instr` instructions.
+
+Data memory is a flat, word-addressed :class:`Memory`; pointers are integer
+addresses, so address arithmetic is ordinary integer arithmetic and
+DyC-style static loads fold naturally once addresses become run-time
+constants.
+"""
+
+from repro.ir.instructions import (
+    Op,
+    Operand,
+    Reg,
+    Imm,
+    Hole,
+    Instr,
+    Move,
+    UnOp,
+    BinOp,
+    Load,
+    Store,
+    Call,
+    Jump,
+    Branch,
+    Return,
+    MakeStatic,
+    MakeDynamic,
+    Promote,
+    EnterRegion,
+    ExitRegion,
+    TERMINATORS,
+)
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.memory import Memory
+from repro.ir.builder import FunctionBuilder
+from repro.ir.printer import format_function, format_instr, format_module
+from repro.ir.validate import verify_function, verify_module
+
+__all__ = [
+    "Op",
+    "Operand",
+    "Reg",
+    "Imm",
+    "Hole",
+    "Instr",
+    "Move",
+    "UnOp",
+    "BinOp",
+    "Load",
+    "Store",
+    "Call",
+    "Jump",
+    "Branch",
+    "Return",
+    "MakeStatic",
+    "MakeDynamic",
+    "Promote",
+    "EnterRegion",
+    "ExitRegion",
+    "TERMINATORS",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "Memory",
+    "FunctionBuilder",
+    "format_function",
+    "format_instr",
+    "format_module",
+    "verify_function",
+    "verify_module",
+]

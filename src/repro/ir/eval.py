@@ -1,0 +1,130 @@
+"""Operator semantics shared by every evaluator in the system.
+
+The static optimizer's constant folder, the BTA's set-up computations, the
+runtime specializer, and the abstract-machine interpreter must all agree
+exactly on arithmetic, so the semantics live here, next to the IR.
+
+Semantics are C-flavoured:
+
+* mixed int/float arithmetic promotes to float;
+* integer division and modulus truncate toward zero (C99);
+* shifts and bitwise operators require integer operands;
+* comparisons yield the ints 0 or 1;
+* ``NOT`` is logical not (C ``!``), yielding 0 or 1.
+
+Division by zero raises :class:`TrapError`, mirroring a hardware trap.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TrapError
+from repro.ir.instructions import Op
+
+Number = int | float
+
+
+def _require_ints(op: Op, lhs: Number, rhs: Number) -> tuple[int, int]:
+    if isinstance(lhs, float) or isinstance(rhs, float):
+        raise TrapError(f"{op} requires integer operands, got "
+                        f"{lhs!r} and {rhs!r}")
+    return lhs, rhs
+
+
+def _c_div(lhs: int, rhs: int) -> int:
+    """C99 integer division: truncation toward zero."""
+    quotient = abs(lhs) // abs(rhs)
+    if (lhs < 0) != (rhs < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _c_mod(lhs: int, rhs: int) -> int:
+    """C99 integer remainder: sign follows the dividend."""
+    return lhs - _c_div(lhs, rhs) * rhs
+
+
+def eval_binop(op: Op, lhs: Number, rhs: Number) -> Number:
+    """Evaluate ``lhs op rhs`` with C-flavoured semantics."""
+    if op is Op.ADD:
+        return lhs + rhs
+    if op is Op.SUB:
+        return lhs - rhs
+    if op is Op.MUL:
+        return lhs * rhs
+    if op is Op.DIV:
+        if rhs == 0:
+            raise TrapError("division by zero")
+        if isinstance(lhs, int) and isinstance(rhs, int):
+            return _c_div(lhs, rhs)
+        return lhs / rhs
+    if op is Op.MOD:
+        if rhs == 0:
+            raise TrapError("modulo by zero")
+        if isinstance(lhs, int) and isinstance(rhs, int):
+            return _c_mod(lhs, rhs)
+        return math.fmod(lhs, rhs)
+    if op is Op.AND:
+        lhs, rhs = _require_ints(op, lhs, rhs)
+        return lhs & rhs
+    if op is Op.OR:
+        lhs, rhs = _require_ints(op, lhs, rhs)
+        return lhs | rhs
+    if op is Op.XOR:
+        lhs, rhs = _require_ints(op, lhs, rhs)
+        return lhs ^ rhs
+    if op is Op.SHL:
+        lhs, rhs = _require_ints(op, lhs, rhs)
+        if rhs < 0:
+            raise TrapError("negative shift count")
+        return lhs << rhs
+    if op is Op.SHR:
+        lhs, rhs = _require_ints(op, lhs, rhs)
+        if rhs < 0:
+            raise TrapError("negative shift count")
+        return lhs >> rhs
+    if op is Op.EQ:
+        return int(lhs == rhs)
+    if op is Op.NE:
+        return int(lhs != rhs)
+    if op is Op.LT:
+        return int(lhs < rhs)
+    if op is Op.LE:
+        return int(lhs <= rhs)
+    if op is Op.GT:
+        return int(lhs > rhs)
+    if op is Op.GE:
+        return int(lhs >= rhs)
+    raise TrapError(f"{op} is not a binary operator")
+
+
+def eval_unop(op: Op, src: Number) -> Number:
+    """Evaluate ``op src``."""
+    if op is Op.NEG:
+        return -src
+    if op is Op.NOT:
+        return int(not src)
+    raise TrapError(f"{op} is not a unary operator")
+
+
+def is_power_of_two(value: Number) -> bool:
+    """True for positive integer powers of two (strength-reduction test)."""
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Exponent of an exact power of two."""
+    return value.bit_length() - 1
+
+
+#: Largest magnitude an integer may have and still be encoded in an Alpha
+#: operate-format literal field (8-bit zero-extended literal).  Used by the
+#: strength-reduction/immediate-fitting stage (§2.2.7: "attempt to fit
+#: integer static operands into instruction immediate fields").
+IMMEDIATE_LIMIT = 255
+
+
+def fits_immediate(value: Number) -> bool:
+    """True when a static operand fits an instruction immediate field."""
+    return isinstance(value, int) and 0 <= value <= IMMEDIATE_LIMIT

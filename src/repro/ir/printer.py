@@ -1,0 +1,89 @@
+"""Textual rendering of IR for debugging, examples, and golden tests."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    EnterRegion,
+    ExitRegion,
+    Instr,
+    Jump,
+    Load,
+    MakeDynamic,
+    MakeStatic,
+    Move,
+    Promote,
+    Return,
+    Store,
+    UnOp,
+)
+
+
+def format_instr(instr: Instr) -> str:
+    """Render a single instruction as one line of assembly-like text."""
+    if isinstance(instr, Move):
+        return f"{instr.dest} = {instr.src}"
+    if isinstance(instr, UnOp):
+        return f"{instr.dest} = {instr.op} {instr.src}"
+    if isinstance(instr, BinOp):
+        return f"{instr.dest} = {instr.lhs} {instr.op} {instr.rhs}"
+    if isinstance(instr, Load):
+        marker = "@" if instr.static else ""
+        return f"{instr.dest} = load{marker} [{instr.addr}]"
+    if isinstance(instr, Store):
+        return f"store [{instr.addr}], {instr.value}"
+    if isinstance(instr, Call):
+        marker = "@" if instr.static else ""
+        args = ", ".join(str(a) for a in instr.args)
+        prefix = f"{instr.dest} = " if instr.dest is not None else ""
+        return f"{prefix}call{marker} {instr.callee}({args})"
+    if isinstance(instr, Jump):
+        return f"jump {instr.target}"
+    if isinstance(instr, Branch):
+        return f"branch {instr.cond} ? {instr.if_true} : {instr.if_false}"
+    if isinstance(instr, Return):
+        if instr.value is None:
+            return "return"
+        return f"return {instr.value}"
+    if isinstance(instr, MakeStatic):
+        names = ", ".join(instr.names)
+        return f"make_static({names}) [{instr.policy}]"
+    if isinstance(instr, MakeDynamic):
+        names = ", ".join(instr.names)
+        return f"make_dynamic({names})"
+    if isinstance(instr, Promote):
+        keys = ", ".join(instr.keys)
+        return (
+            f"promote region={instr.region_id} point={instr.point_id} "
+            f"({keys}) [{instr.policy}]"
+        )
+    if isinstance(instr, ExitRegion):
+        return f"exit_region {instr.index}"
+    if isinstance(instr, EnterRegion):
+        keys = ", ".join(instr.keys)
+        exits = ", ".join(instr.exits)
+        return (
+            f"enter_region {instr.region_id} ({keys}) "
+            f"[{instr.policy}] exits: {exits}"
+        )
+    return repr(instr)
+
+
+def format_function(function: Function) -> str:
+    """Render a function as labelled blocks of instructions."""
+    lines = [f"func {function.name}({', '.join(function.params)}):"]
+    for label, block in function.blocks.items():
+        suffix = "  ; entry" if label == function.entry else ""
+        lines.append(f"{label}:{suffix}")
+        for instr in block.instrs:
+            lines.append(f"    {format_instr(instr)}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Render every function in a module."""
+    parts = [format_function(f) for f in module.functions.values()]
+    return "\n\n".join(parts)

@@ -1,0 +1,83 @@
+"""Structural verifier for IR functions and modules.
+
+The verifier enforces the invariants the rest of the system relies on:
+every block ends in exactly one terminator, branch targets exist, the entry
+block exists, operands are well formed (no ``Hole`` outside templates), and
+annotation pseudo-instructions are not terminators.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Hole, Instr, TERMINATORS
+
+
+def verify_function(function: Function, allow_holes: bool = False) -> None:
+    """Raise :class:`IRError` if ``function`` is structurally invalid."""
+    if not function.blocks:
+        raise IRError(f"function {function.name!r} has no blocks")
+    if function.entry not in function.blocks:
+        raise IRError(
+            f"function {function.name!r}: entry {function.entry!r} "
+            "is not a block"
+        )
+    seen_params = set(function.params)
+    if len(seen_params) != len(function.params):
+        raise IRError(
+            f"function {function.name!r} has duplicate parameters"
+        )
+    for label, block in function.blocks.items():
+        if block.label != label:
+            raise IRError(
+                f"function {function.name!r}: block keyed {label!r} "
+                f"is labelled {block.label!r}"
+            )
+        _verify_block(function, block, allow_holes)
+
+
+def _verify_block(function: Function, block, allow_holes: bool) -> None:
+    name = f"{function.name}.{block.label}"
+    if not block.instrs:
+        raise IRError(f"block {name} is empty")
+    for index, instr in enumerate(block.instrs):
+        is_last = index == len(block.instrs) - 1
+        if isinstance(instr, TERMINATORS) and not is_last:
+            raise IRError(
+                f"block {name}: terminator "
+                f"{type(instr).__name__} at position {index} "
+                "is not the final instruction"
+            )
+        if is_last and not isinstance(instr, TERMINATORS):
+            raise IRError(
+                f"block {name} does not end in a terminator "
+                f"(ends with {type(instr).__name__})"
+            )
+        _verify_operands(name, instr, allow_holes)
+    for succ in block.successors():
+        if succ not in function.blocks:
+            raise IRError(
+                f"block {name}: successor {succ!r} does not exist"
+            )
+
+
+def _verify_operands(where: str, instr: Instr, allow_holes: bool) -> None:
+    for operand in instr.operands():
+        if isinstance(operand, Hole) and not allow_holes:
+            raise IRError(
+                f"{where}: hole operand {operand} outside a template"
+            )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function and check that calls resolve.
+
+    Calls to unknown names are permitted only when they match an intrinsic
+    name; the machine's intrinsic table is consulted lazily to avoid a
+    circular import, so here we only check intra-module duplicates and
+    structural validity.
+    """
+    for function in module.functions.values():
+        verify_function(function)
+    if module.main is not None and module.main not in module.functions:
+        raise IRError(f"module main {module.main!r} is not defined")

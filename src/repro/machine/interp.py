@@ -1,0 +1,368 @@
+"""The cycle-counting IR interpreter.
+
+This is the measurement substrate standing in for the paper's Alpha 21164:
+it executes IR functions (and dynamically generated region code) while
+charging deterministic cycle costs from a :class:`CostModel` plus
+I-cache-footprint penalties from an :class:`ICacheModel`.
+
+Cycle accounts
+--------------
+
+``stats.cycles``
+    everything executed, including dispatch costs charged by the runtime.
+``stats.dc_cycles``
+    dynamic-compilation (specialization) overhead, charged by the runtime;
+    *excluded* from ``cycles`` so asymptotic speedups can be computed the
+    way the paper defines them (§4.2).
+``stats.scope_cycles[name]``
+    inclusive cycles attributed to tracked scopes (the dynamically
+    compiled functions of Table 1), used for dynamic-region timings and
+    Table 4's percent-of-execution measurements.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError, TrapError
+from repro.ir.eval import eval_binop, eval_unop
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    EnterRegion,
+    ExitRegion,
+    Imm,
+    Jump,
+    Load,
+    MakeDynamic,
+    MakeStatic,
+    Move,
+    Operand,
+    Promote,
+    Reg,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.ir.memory import Memory
+from repro.machine.costs import ALPHA_21164, CostModel
+from repro.machine.icache import ICacheModel
+from repro.machine.intrinsics import INTRINSICS
+
+
+@dataclass
+class ExecutionStats:
+    """Cycle and instruction accounting for one machine."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    dc_cycles: float = 0.0
+    dispatch_cycles: float = 0.0
+    dispatches: int = 0
+    scope_cycles: dict[str, float] = field(default_factory=dict)
+    scope_entries: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "ExecutionStats":
+        return ExecutionStats(
+            cycles=self.cycles,
+            instructions=self.instructions,
+            dc_cycles=self.dc_cycles,
+            dispatch_cycles=self.dispatch_cycles,
+            dispatches=self.dispatches,
+            scope_cycles=dict(self.scope_cycles),
+            scope_entries=dict(self.scope_entries),
+        )
+
+
+class Machine:
+    """Executes IR with cycle accounting.
+
+    Parameters
+    ----------
+    module:
+        The program to execute.
+    memory:
+        Data memory (shared with the host harness, which preallocates
+        workload inputs).
+    runtime:
+        The dynamic-compilation runtime, consulted for ``EnterRegion`` and
+        ``Promote`` terminators.  ``None`` for purely static programs.
+    tracked:
+        Names of functions whose inclusive cycles should be attributed in
+        ``stats.scope_cycles`` (the paper's dynamic-region timings).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        memory: Memory | None = None,
+        cost_model: CostModel = ALPHA_21164,
+        icache: ICacheModel | None = None,
+        runtime=None,
+        tracked: frozenset[str] | set[str] = frozenset(),
+        step_limit: int = 500_000_000,
+    ) -> None:
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        self.costs = cost_model
+        self.icache = icache if icache is not None else ICacheModel()
+        self.runtime = runtime
+        self.tracked = frozenset(tracked)
+        self.step_limit = step_limit
+        #: Optional value profiler (see repro.autoannotate): an object
+        #: with enter(name, args, cycles) / leave(name, cycles) hooks.
+        self.profiler = None
+        self.stats = ExecutionStats()
+        self.output: list = []
+        self._steps = 0
+        self._active_scopes: dict[str, int] = {}
+        self._call_depth = 0
+        self._max_call_depth = 200
+        # Each IR-level call nests several Python frames; make sure our own
+        # depth guard fires before CPython's recursion limit does.
+        if sys.getrecursionlimit() < 20_000:
+            sys.setrecursionlimit(20_000)
+
+    # ------------------------------------------------------------------
+    # Cycle accounting
+    # ------------------------------------------------------------------
+
+    def charge(self, cycles: float) -> None:
+        """Add execution cycles (and attribute to active tracked scopes)."""
+        self.stats.cycles += cycles
+        for name in self._active_scopes:
+            self.stats.scope_cycles[name] = (
+                self.stats.scope_cycles.get(name, 0.0) + cycles
+            )
+
+    def charge_dispatch(self, cycles: float) -> None:
+        """Dispatch overhead counts as execution time (it recurs)."""
+        self.stats.dispatch_cycles += cycles
+        self.stats.dispatches += 1
+        self.charge(cycles)
+
+    def charge_dc(self, cycles: float) -> None:
+        """Dynamic-compilation overhead: a separate account (§4.2)."""
+        self.stats.dc_cycles += cycles
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def run(self, name: str, *args):
+        """Call a module function from the harness and return its result."""
+        return self.call(name, list(args))
+
+    def call(self, name: str, args: list):
+        if name in self.module.functions:
+            return self._call_function(self.module.functions[name], args)
+        intrinsic = INTRINSICS.get(name)
+        if intrinsic is None:
+            raise MachineError(f"call to unknown function {name!r}")
+        self.charge(self.costs.intrinsic_cost(name))
+        return intrinsic.fn(self, args)
+
+    def _call_function(self, function: Function, args: list):
+        if len(args) != len(function.params):
+            raise MachineError(
+                f"{function.name}() takes {len(function.params)} args, "
+                f"got {len(args)}"
+            )
+        self._call_depth += 1
+        if self._call_depth > self._max_call_depth:
+            raise MachineError("call depth exceeded")
+        tracked_here = function.name in self.tracked
+        if tracked_here:
+            self._active_scopes[function.name] = (
+                self._active_scopes.get(function.name, 0) + 1
+            )
+            self.stats.scope_entries[function.name] = (
+                self.stats.scope_entries.get(function.name, 0) + 1
+            )
+        self.charge(self.costs.call_overhead)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.enter(function.name, args, self.stats.cycles)
+        env = dict(zip(function.params, args))
+        try:
+            result = self._exec_function(function, env)
+        finally:
+            if profiler is not None:
+                profiler.leave(function.name, self.stats.cycles)
+            if tracked_here:
+                count = self._active_scopes[function.name] - 1
+                if count:
+                    self._active_scopes[function.name] = count
+                else:
+                    del self._active_scopes[function.name]
+            self._call_depth -= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Execution core
+    # ------------------------------------------------------------------
+
+    def _exec_function(self, function: Function, env: dict):
+        """Execute a host function until Return; handles EnterRegion.
+
+        Host functions are statically compiled, so their instruction
+        costs are scaled by the static scheduling factor; dynamically
+        generated region code (see :meth:`exec_region_code`) is not.
+        """
+        penalty = self.icache.per_instruction_penalty(
+            function.instruction_count()
+        )
+        scale = self.costs.static_schedule_factor
+        label = function.entry
+        while True:
+            outcome = self._exec_block(
+                function.blocks[label], env, penalty, scale
+            )
+            kind, payload = outcome
+            if kind == "jump":
+                label = payload
+            elif kind == "return":
+                return payload
+            elif kind == "enter_region":
+                instr = payload
+                if self.runtime is None:
+                    raise MachineError(
+                        "EnterRegion executed without a runtime attached"
+                    )
+                outcome, value = self.runtime.enter_region(
+                    self, instr, env
+                )
+                if outcome == "return":
+                    # A Return inside the region returns from the host.
+                    return value
+                label = value
+            else:  # pragma: no cover - defensive
+                raise MachineError(f"unexpected block outcome {kind!r}")
+
+    def exec_region_code(self, code: Function, env: dict,
+                         footprint: int) -> tuple[str, object]:
+        """Execute dynamically generated region code in the host env.
+
+        Region code shares the host frame's environment (DyC allocates
+        registers seamlessly across region boundaries, §2.1).  Returns
+        ``("exit", index)`` when the region resumes host code at exit
+        ``index``, or ``("return", value)`` when the region executed a
+        host-level ``Return``.  ``Promote`` terminators re-enter the
+        runtime for lazy multi-stage specialization.
+        """
+        penalty = self.icache.per_instruction_penalty(footprint)
+        label = code.entry
+        while True:
+            kind, payload = self._exec_block(
+                code.blocks[label], env, penalty, 1.0
+            )
+            if kind == "jump":
+                label = payload
+            elif kind in ("exit", "return"):
+                return (kind, payload)
+            elif kind == "promote":
+                label = self.runtime.promote(self, payload, env, code)
+            else:  # pragma: no cover - defensive
+                raise MachineError(
+                    f"unexpected outcome {kind!r} in region code"
+                )
+
+    def _exec_block(self, block, env: dict, penalty: float,
+                    scale: float):
+        """Execute one block; return ('jump', label) / ('return', v) / ..."""
+        costs = self.costs
+        memory = self.memory
+        for instr in block.instrs:
+            self._steps += 1
+            if self._steps > self.step_limit:
+                raise MachineError(
+                    f"step limit {self.step_limit} exceeded "
+                    f"(infinite loop?)"
+                )
+            self.stats.instructions += 1
+            cls = type(instr)
+            if cls is BinOp:
+                lhs = self._value(instr.lhs, env)
+                rhs = self._value(instr.rhs, env)
+                is_float = isinstance(lhs, float) or isinstance(rhs, float)
+                self.charge(
+                    costs.binop_cost(instr.op.value, is_float) * scale
+                    + penalty
+                )
+                env[instr.dest] = eval_binop(instr.op, lhs, rhs)
+            elif cls is Move:
+                value = self._value(instr.src, env)
+                if type(instr.src) is Imm:
+                    cost = costs.materialize_cost(isinstance(value, float))
+                else:
+                    cost = costs.move_cost(isinstance(value, float))
+                self.charge(cost * scale + penalty)
+                env[instr.dest] = value
+            elif cls is Load:
+                addr = self._value(instr.addr, env)
+                self.charge(costs.load * scale + penalty)
+                env[instr.dest] = memory.load(addr)
+            elif cls is Store:
+                addr = self._value(instr.addr, env)
+                value = self._value(instr.value, env)
+                self.charge(costs.store * scale + penalty)
+                memory.store(addr, value)
+            elif cls is UnOp:
+                src = self._value(instr.src, env)
+                self.charge(
+                    costs.binop_cost("alu", isinstance(src, float))
+                    * scale + penalty
+                )
+                env[instr.dest] = eval_unop(instr.op, src)
+            elif cls is Call:
+                args = [self._value(a, env) for a in instr.args]
+                result = self.call(instr.callee, args)
+                if instr.dest is not None:
+                    env[instr.dest] = result
+            elif cls is Jump:
+                self.charge(costs.jump * scale + penalty)
+                return ("jump", instr.target)
+            elif cls is Branch:
+                cond = self._value(instr.cond, env)
+                self.charge(costs.branch * scale + penalty)
+                target = instr.if_true if cond else instr.if_false
+                return ("jump", target)
+            elif cls is Return:
+                self.charge(costs.return_cost * scale + penalty)
+                if instr.value is None:
+                    return ("return", None)
+                return ("return", self._value(instr.value, env))
+            elif cls is MakeStatic or cls is MakeDynamic:
+                # Annotations cost nothing and do nothing when executed;
+                # the statically compiled configuration ignores them.
+                self.stats.instructions -= 1
+            elif cls is EnterRegion:
+                return ("enter_region", instr)
+            elif cls is Promote:
+                return ("promote", instr)
+            elif cls is ExitRegion:
+                self.charge(costs.jump * scale + penalty)
+                return ("exit", instr.index)
+            else:  # pragma: no cover - defensive
+                raise MachineError(
+                    f"cannot execute {type(instr).__name__}"
+                )
+        raise MachineError(
+            f"block {block.label!r} fell through without a terminator"
+        )
+
+    @staticmethod
+    def _value(operand: Operand, env: dict):
+        if type(operand) is Reg:
+            try:
+                return env[operand.name]
+            except KeyError:
+                raise TrapError(
+                    f"use of undefined variable {operand.name!r}"
+                ) from None
+        if type(operand) is Imm:
+            return operand.value
+        raise TrapError(f"cannot evaluate operand {operand!r}")

@@ -1,0 +1,208 @@
+"""Global constant propagation and folding.
+
+A forward dataflow over a flat constant lattice (unknown ⊑ const ⊑ many),
+followed by a rewriting sweep that substitutes known constants into
+operands, folds fully constant expressions, and turns constant branches
+into jumps.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import reverse_postorder
+from repro.errors import TrapError
+from repro.ir.eval import eval_binop, eval_unop
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Imm,
+    Instr,
+    Jump,
+    Load,
+    Move,
+    Operand,
+    Reg,
+    UnOp,
+)
+
+# Lattice: a variable maps to a concrete value when known-constant.
+# Absence from the map means "not a constant" (bottom).  The special
+# _UNDEF marker means "no information yet" (top) and only appears while
+# merging.
+_UNDEF = object()
+
+ConstMap = dict[str, object]
+
+
+def _merge(maps: list[ConstMap]) -> ConstMap:
+    if not maps:
+        return {}
+    merged: ConstMap = dict(maps[0])
+    for other in maps[1:]:
+        for name in list(merged):
+            if name not in other or other[name] != merged[name]:
+                del merged[name]
+    return merged
+
+
+def _transfer(block, consts: ConstMap) -> ConstMap:
+    consts = dict(consts)
+    for instr in block.instrs:
+        _apply_instr(instr, consts)
+    return consts
+
+
+def _apply_instr(instr: Instr, consts: ConstMap) -> None:
+    if isinstance(instr, Move):
+        value = _operand_value(instr.src, consts)
+        _set(consts, instr.dest, value)
+    elif isinstance(instr, UnOp):
+        src = _operand_value(instr.src, consts)
+        if src is not _UNDEF:
+            try:
+                _set(consts, instr.dest, eval_unop(instr.op, src))
+                return
+            except TrapError:
+                pass
+        _set(consts, instr.dest, _UNDEF)
+    elif isinstance(instr, BinOp):
+        lhs = _operand_value(instr.lhs, consts)
+        rhs = _operand_value(instr.rhs, consts)
+        if lhs is not _UNDEF and rhs is not _UNDEF:
+            try:
+                _set(consts, instr.dest, eval_binop(instr.op, lhs, rhs))
+                return
+            except TrapError:
+                pass
+        _set(consts, instr.dest, _UNDEF)
+    else:
+        for name in instr.defs():
+            _set(consts, name, _UNDEF)
+
+
+def _set(consts: ConstMap, name: str, value) -> None:
+    if value is _UNDEF:
+        consts.pop(name, None)
+    else:
+        consts[name] = value
+
+
+def _operand_value(operand: Operand, consts: ConstMap):
+    if isinstance(operand, Imm):
+        return operand.value
+    if isinstance(operand, Reg) and operand.name in consts:
+        return consts[operand.name]
+    return _UNDEF
+
+
+def _subst(operand: Operand, consts: ConstMap) -> Operand:
+    if isinstance(operand, Reg) and operand.name in consts:
+        return Imm(consts[operand.name])
+    return operand
+
+
+def constant_propagation(function: Function) -> bool:
+    """Propagate and fold constants; returns True if anything changed."""
+    # --- dataflow: compute constants at block entry ---
+    order = reverse_postorder(function)
+    preds = function.predecessors()
+    entry_consts: dict[str, ConstMap] = {}
+    out_consts: dict[str, ConstMap] = {}
+
+    changed = True
+    visited: set[str] = set()
+    while changed:
+        changed = False
+        for label in order:
+            block = function.blocks[label]
+            if label == function.entry:
+                in_map: ConstMap = {}
+            else:
+                pred_maps = [
+                    out_consts[p] for p in preds[label] if p in visited
+                ]
+                in_map = _merge(pred_maps) if pred_maps else {}
+            out_map = _transfer(block, in_map)
+            if (label not in visited or in_map != entry_consts[label]
+                    or out_map != out_consts[label]):
+                visited.add(label)
+                entry_consts[label] = in_map
+                out_consts[label] = out_map
+                changed = True
+
+    # --- rewrite using the computed entry states ---
+    rewrote = False
+    for label in order:
+        block = function.blocks[label]
+        consts = dict(entry_consts[label])
+        new_instrs: list[Instr] = []
+        for instr in block.instrs:
+            replacement = _rewrite(instr, consts)
+            if replacement is not instr:
+                rewrote = True
+            _apply_instr(replacement, consts)
+            new_instrs.append(replacement)
+        block.instrs = new_instrs
+    if rewrote:
+        function.remove_unreachable_blocks()
+    return rewrote
+
+
+def _rewrite(instr: Instr, consts: ConstMap) -> Instr:
+    if isinstance(instr, Move):
+        src = _subst(instr.src, consts)
+        return instr if src is instr.src else Move(instr.dest, src)
+    if isinstance(instr, UnOp):
+        src = _subst(instr.src, consts)
+        if isinstance(src, Imm):
+            try:
+                return Move(instr.dest, Imm(eval_unop(instr.op, src.value)))
+            except TrapError:
+                pass
+        return instr if src is instr.src else UnOp(instr.dest, instr.op, src)
+    if isinstance(instr, BinOp):
+        lhs = _subst(instr.lhs, consts)
+        rhs = _subst(instr.rhs, consts)
+        if isinstance(lhs, Imm) and isinstance(rhs, Imm):
+            try:
+                value = eval_binop(instr.op, lhs.value, rhs.value)
+                return Move(instr.dest, Imm(value))
+            except TrapError:
+                pass
+        if lhs is instr.lhs and rhs is instr.rhs:
+            return instr
+        return BinOp(instr.dest, instr.op, lhs, rhs)
+    if isinstance(instr, Load):
+        addr = _subst(instr.addr, consts)
+        if addr is instr.addr:
+            return instr
+        return Load(instr.dest, addr, static=instr.static)
+    if isinstance(instr, Branch):
+        cond = _subst(instr.cond, consts)
+        if isinstance(cond, Imm):
+            target = instr.if_true if cond.value else instr.if_false
+            return Jump(target)
+        if cond is instr.cond:
+            return instr
+        return Branch(cond, instr.if_true, instr.if_false)
+    if isinstance(instr, Call):
+        args = tuple(_subst(a, consts) for a in instr.args)
+        if args == instr.args:
+            return instr
+        return Call(instr.dest, instr.callee, args, static=instr.static)
+    # Store and other instructions: substitute operands where possible.
+    from repro.ir.instructions import Return, Store
+
+    if isinstance(instr, Return) and instr.value is not None:
+        value = _subst(instr.value, consts)
+        if value is instr.value:
+            return instr
+        return Return(value)
+    if isinstance(instr, Store):
+        addr = _subst(instr.addr, consts)
+        value = _subst(instr.value, consts)
+        if addr is instr.addr and value is instr.value:
+            return instr
+        return Store(addr, value)
+    return instr

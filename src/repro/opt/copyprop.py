@@ -1,0 +1,159 @@
+"""Global copy propagation.
+
+A forward dataflow of available copies (``dest`` currently equals ``src``)
+with intersection at joins, followed by a sweep that rewrites uses of copy
+destinations to their sources.  Leaves the now-possibly-dead copies for
+dead-code elimination to sweep up.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import reverse_postorder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Instr,
+    Load,
+    Move,
+    Operand,
+    Reg,
+    Return,
+    Store,
+    UnOp,
+)
+
+CopyMap = dict[str, str]  # dest -> src, meaning dest == src here
+
+
+def _kill(copies: CopyMap, name: str) -> None:
+    copies.pop(name, None)
+    for dest in [d for d, s in copies.items() if s == name]:
+        del copies[dest]
+
+
+def _transfer(block, copies: CopyMap) -> CopyMap:
+    copies = dict(copies)
+    for instr in block.instrs:
+        _apply(instr, copies)
+    return copies
+
+
+def _apply(instr: Instr, copies: CopyMap) -> None:
+    if isinstance(instr, Move) and isinstance(instr.src, Reg):
+        if instr.src.name != instr.dest:
+            _kill(copies, instr.dest)
+            copies[instr.dest] = instr.src.name
+        return
+    for name in instr.defs():
+        _kill(copies, name)
+
+
+def _merge(maps: list[CopyMap]) -> CopyMap:
+    if not maps:
+        return {}
+    merged = dict(maps[0])
+    for other in maps[1:]:
+        for dest in list(merged):
+            if other.get(dest) != merged[dest]:
+                del merged[dest]
+    return merged
+
+
+def _subst(operand: Operand, copies: CopyMap) -> Operand:
+    if isinstance(operand, Reg):
+        # Chase copy chains (a=b, c=a => uses of c become b).
+        name = operand.name
+        seen = set()
+        while name in copies and name not in seen:
+            seen.add(name)
+            name = copies[name]
+        if name != operand.name:
+            return Reg(name)
+    return operand
+
+
+def copy_propagation(function: Function) -> bool:
+    """Rewrite uses of copies to their sources; True if changed."""
+    order = reverse_postorder(function)
+    preds = function.predecessors()
+    entry: dict[str, CopyMap] = {}
+    exit_: dict[str, CopyMap] = {}
+    visited: set[str] = set()
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            block = function.blocks[label]
+            if label == function.entry:
+                in_map: CopyMap = {}
+            else:
+                pred_maps = [exit_[p] for p in preds[label] if p in visited]
+                in_map = _merge(pred_maps) if pred_maps else {}
+            out_map = _transfer(block, in_map)
+            if (label not in visited or entry[label] != in_map
+                    or exit_[label] != out_map):
+                visited.add(label)
+                entry[label] = in_map
+                exit_[label] = out_map
+                changed = True
+
+    rewrote = False
+    for label in order:
+        block = function.blocks[label]
+        copies = dict(entry[label])
+        new_instrs: list[Instr] = []
+        for instr in block.instrs:
+            replacement = _rewrite_uses(instr, copies)
+            if replacement is not instr:
+                rewrote = True
+            _apply(replacement, copies)
+            new_instrs.append(replacement)
+        block.instrs = new_instrs
+    return rewrote
+
+
+def _rewrite_uses(instr: Instr, copies: CopyMap) -> Instr:
+    if isinstance(instr, Move):
+        src = _subst(instr.src, copies)
+        if isinstance(src, Reg) and src.name == instr.dest:
+            return instr  # would become self-copy; let DCE handle original
+        return instr if src is instr.src else Move(instr.dest, src)
+    if isinstance(instr, UnOp):
+        src = _subst(instr.src, copies)
+        return instr if src is instr.src else UnOp(instr.dest, instr.op, src)
+    if isinstance(instr, BinOp):
+        lhs = _subst(instr.lhs, copies)
+        rhs = _subst(instr.rhs, copies)
+        if lhs is instr.lhs and rhs is instr.rhs:
+            return instr
+        return BinOp(instr.dest, instr.op, lhs, rhs)
+    if isinstance(instr, Load):
+        addr = _subst(instr.addr, copies)
+        if addr is instr.addr:
+            return instr
+        return Load(instr.dest, addr, static=instr.static)
+    if isinstance(instr, Store):
+        addr = _subst(instr.addr, copies)
+        value = _subst(instr.value, copies)
+        if addr is instr.addr and value is instr.value:
+            return instr
+        return Store(addr, value)
+    if isinstance(instr, Call):
+        args = tuple(_subst(a, copies) for a in instr.args)
+        if args == instr.args:
+            return instr
+        return Call(instr.dest, instr.callee, args, static=instr.static)
+    if isinstance(instr, Branch):
+        cond = _subst(instr.cond, copies)
+        if cond is instr.cond:
+            return instr
+        return Branch(cond, instr.if_true, instr.if_false)
+    if isinstance(instr, Return) and instr.value is not None:
+        value = _subst(instr.value, copies)
+        if value is instr.value:
+            return instr
+        return Return(value)
+    return instr

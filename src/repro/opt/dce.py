@@ -1,0 +1,45 @@
+"""Global dead-code elimination driven by liveness.
+
+Removes instructions whose results are never used, provided they have no
+side effects.  Stores, calls, terminators, and annotation
+pseudo-instructions are always retained (calls may have side effects; the
+annotations carry information for the BTA).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import liveness
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Load,
+    Move,
+    UnOp,
+)
+
+#: Instruction classes that are removable when their result is dead.
+_PURE = (Move, UnOp, BinOp, Load)
+
+
+def dead_code_elimination(function: Function) -> bool:
+    """Delete pure instructions whose destinations are dead; True if changed."""
+    result = liveness(function)
+    changed = False
+    for label, block in function.blocks.items():
+        live = set(result.live_out[label])
+        new_reversed = []
+        for instr in reversed(block.instrs):
+            defs = instr.defs()
+            is_dead = (
+                isinstance(instr, _PURE)
+                and defs
+                and not any(d in live for d in defs)
+            )
+            if is_dead:
+                changed = True
+                continue
+            live -= set(defs)
+            live |= set(instr.uses())
+            new_reversed.append(instr)
+        block.instrs = list(reversed(new_reversed))
+    return changed

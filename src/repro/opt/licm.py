@@ -1,0 +1,170 @@
+"""Loop-invariant code motion (optional pass).
+
+Hoists pure computations whose operands are loop-invariant into a
+preheader.  Loads are hoisted only out of loops containing no stores or
+calls (no aliasing model is needed under that condition).
+
+This pass is *not* part of :data:`repro.opt.pipeline.DEFAULT_PASSES`:
+the reproduction's cost calibration (EXPERIMENTS.md) is pinned to the
+default pipeline, and the paper's Multiflow baseline behaviour is
+already approximated by the static-schedule factor.  Library users who
+want a stronger static baseline can append it::
+
+    PassManager(passes=DEFAULT_PASSES + (loop_invariant_code_motion,))
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import Loop, natural_loops
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Imm,
+    Instr,
+    Jump,
+    Load,
+    Move,
+    Reg,
+    Store,
+    UnOp,
+)
+
+#: Instructions that may be hoisted (plus Load, conditionally).
+_PURE = (Move, UnOp, BinOp)
+
+
+def _loop_defs(function: Function, loop: Loop) -> set[str]:
+    defs: set[str] = set()
+    for label in loop.body:
+        for instr in function.blocks[label].instrs:
+            defs.update(instr.defs())
+    return defs
+
+
+def _loop_has_side_effects(function: Function, loop: Loop) -> bool:
+    for label in loop.body:
+        for instr in function.blocks[label].instrs:
+            if isinstance(instr, (Store, Call)):
+                return True
+    return False
+
+
+def _operands_invariant(instr: Instr, loop_defs: set[str]) -> bool:
+    return all(
+        isinstance(op, Imm) or (isinstance(op, Reg)
+                                and op.name not in loop_defs)
+        for op in instr.operands()
+    )
+
+
+def _may_trap(instr: Instr) -> bool:
+    """Hoisting must not introduce a trap on a zero-trip loop: divides
+    and moduli are kept in place unless the divisor is a nonzero
+    constant, and shifts unless the count is a nonnegative constant."""
+    from repro.ir.instructions import Op
+
+    if not isinstance(instr, BinOp):
+        return False
+    if instr.op in (Op.DIV, Op.MOD):
+        return not (isinstance(instr.rhs, Imm) and instr.rhs.value != 0)
+    if instr.op in (Op.SHL, Op.SHR):
+        return not (isinstance(instr.rhs, Imm)
+                    and isinstance(instr.rhs.value, int)
+                    and instr.rhs.value >= 0)
+    return False
+
+
+def _ensure_preheader(function: Function, loop: Loop,
+                      counter: list[int]) -> str | None:
+    """Find or create the block all non-back edges enter the loop by."""
+    preds = function.predecessors()
+    outside = [p for p in preds[loop.header] if p not in loop.body]
+    if not outside:
+        return None
+    if len(outside) == 1:
+        pred = function.blocks[outside[0]]
+        if isinstance(pred.terminator, Jump):
+            return outside[0]
+    counter[0] += 1
+    label = f"{loop.header}.ph{counter[0]}"
+    while label in function.blocks:
+        counter[0] += 1
+        label = f"{loop.header}.ph{counter[0]}"
+    preheader = BasicBlock(label, [Jump(loop.header)])
+    function.blocks[label] = preheader
+    for pred_label in outside:
+        pred = function.blocks[pred_label]
+        term = pred.instrs[-1]
+        if isinstance(term, Jump) and term.target == loop.header:
+            pred.instrs[-1] = Jump(label)
+        elif isinstance(term, Branch):
+            if_true = label if term.if_true == loop.header \
+                else term.if_true
+            if_false = label if term.if_false == loop.header \
+                else term.if_false
+            pred.instrs[-1] = Branch(term.cond, if_true, if_false)
+    if function.entry == loop.header:
+        function.entry = label
+    return label
+
+
+def loop_invariant_code_motion(function: Function) -> bool:
+    """Hoist invariant computations out of natural loops.
+
+    A pure instruction is hoisted when (a) its operands are not defined
+    anywhere in the loop, (b) its destination is defined exactly once in
+    the loop, and (c) its destination is not live into the loop header
+    from outside (approximated: not used before its definition within
+    its block and not defined elsewhere in the loop).  Conservative but
+    effective on the common `x = k * c` idioms.
+    """
+    changed = False
+    counter = [0]
+    for loop in natural_loops(function):
+        defs = _loop_defs(function, loop)
+        side_effects = _loop_has_side_effects(function, loop)
+
+        def_counts: dict[str, int] = {}
+        for label in loop.body:
+            for instr in function.blocks[label].instrs:
+                for dest in instr.defs():
+                    def_counts[dest] = def_counts.get(dest, 0) + 1
+
+        hoistable: list[Instr] = []
+        for label in sorted(loop.body):
+            block = function.blocks[label]
+            remaining: list[Instr] = []
+            for instr in block.instrs:
+                is_candidate = (
+                    isinstance(instr, _PURE)
+                    or (isinstance(instr, Load) and not side_effects)
+                )
+                if (is_candidate
+                        and instr.defs()
+                        and def_counts.get(instr.defs()[0], 0) == 1
+                        and not _may_trap(instr)
+                        and _operands_invariant(instr, defs)):
+                    hoistable.append(instr)
+                    # Its destination is now invariant for later
+                    # candidates in this pass over the loop.
+                    defs.discard(instr.defs()[0])
+                    changed = True
+                else:
+                    remaining.append(instr)
+            block.instrs = remaining
+
+        if hoistable:
+            preheader_label = _ensure_preheader(function, loop, counter)
+            if preheader_label is None:
+                # No outside entry (dead loop): put them back.
+                header = function.blocks[loop.header]
+                header.instrs = hoistable + header.instrs
+                continue
+            preheader = function.blocks[preheader_label]
+            preheader.instrs = (
+                preheader.instrs[:-1] + hoistable
+                + [preheader.instrs[-1]]
+            )
+    return changed

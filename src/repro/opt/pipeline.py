@@ -1,0 +1,66 @@
+"""Pass manager and the standard optimization pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ir.function import Function, Module
+from repro.opt.constprop import constant_propagation
+from repro.opt.copyprop import copy_propagation
+from repro.opt.cse import local_cse
+from repro.opt.dce import dead_code_elimination
+from repro.opt.simplify_cfg import simplify_cfg
+from repro.opt.strength import strength_reduction
+
+Pass = Callable[[Function], bool]
+
+#: The default pipeline, iterated to a fixpoint.  Order matters mildly:
+#: constants unlock branch folding, which unlocks merging, which unlocks
+#: more local CSE.
+DEFAULT_PASSES: tuple[Pass, ...] = (
+    constant_propagation,
+    strength_reduction,
+    copy_propagation,
+    local_cse,
+    dead_code_elimination,
+    simplify_cfg,
+)
+
+
+@dataclass
+class PassManager:
+    """Runs passes to a fixpoint and records how often each fired."""
+
+    passes: tuple[Pass, ...] = DEFAULT_PASSES
+    max_iterations: int = 20
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def run(self, function: Function) -> bool:
+        """Optimize ``function`` in place; True if anything changed."""
+        any_change = False
+        for _ in range(self.max_iterations):
+            round_change = False
+            for opt_pass in self.passes:
+                if opt_pass(function):
+                    name = opt_pass.__name__
+                    self.stats[name] = self.stats.get(name, 0) + 1
+                    round_change = True
+            if not round_change:
+                break
+            any_change = True
+        return any_change
+
+
+def optimize_function(function: Function) -> Function:
+    """Apply the standard pipeline to a function, in place."""
+    PassManager().run(function)
+    return function
+
+
+def optimize_module(module: Module) -> Module:
+    """Apply the standard pipeline to every function in a module."""
+    manager = PassManager()
+    for function in module.functions.values():
+        manager.run(function)
+    return module

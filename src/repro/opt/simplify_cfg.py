@@ -1,0 +1,103 @@
+"""CFG simplification: branch folding, jump threading, block merging.
+
+* branches whose both targets are identical become jumps;
+* blocks containing only a jump are threaded through (their predecessors
+  retarget past them);
+* a block with a unique successor whose successor has a unique predecessor
+  is merged into it;
+* unreachable blocks are removed.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, EnterRegion, Instr, Jump
+
+
+def _retarget(instr: Instr, old: str, new: str) -> Instr:
+    if isinstance(instr, Jump) and instr.target == old:
+        return Jump(new)
+    if isinstance(instr, Branch):
+        if_true = new if instr.if_true == old else instr.if_true
+        if_false = new if instr.if_false == old else instr.if_false
+        if if_true != instr.if_true or if_false != instr.if_false:
+            return Branch(instr.cond, if_true, if_false)
+    if isinstance(instr, EnterRegion) and old in instr.exits:
+        exits = tuple(new if e == old else e for e in instr.exits)
+        return EnterRegion(
+            instr.region_id, instr.keys, exits, policy=instr.policy
+        )
+    return instr
+
+
+def simplify_cfg(function: Function) -> bool:
+    """Iteratively simplify the CFG; True if anything changed."""
+    changed = False
+    while _simplify_once(function):
+        changed = True
+    return changed
+
+
+def _simplify_once(function: Function) -> bool:
+    changed = False
+
+    # Fold branches with identical targets.
+    for block in function.blocks.values():
+        term = block.instrs[-1] if block.instrs else None
+        if isinstance(term, Branch) and term.if_true == term.if_false:
+            block.instrs[-1] = Jump(term.if_true)
+            changed = True
+
+    # Thread jumps through trivial (jump-only) blocks.
+    trivial = {
+        label: block.instrs[0].target
+        for label, block in function.blocks.items()
+        if len(block.instrs) == 1 and isinstance(block.instrs[0], Jump)
+        and block.instrs[0].target != label
+    }
+    # Resolve chains of trivial blocks (with cycle protection).
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in trivial and label not in seen:
+            seen.add(label)
+            label = trivial[label]
+        return label
+
+    if trivial:
+        for block in function.blocks.values():
+            term = block.instrs[-1]
+            for succ in term.successors():
+                final = resolve(succ)
+                if final != succ:
+                    block.instrs[-1] = _retarget(
+                        block.instrs[-1], succ, final
+                    )
+                    changed = True
+        if function.entry in trivial:
+            function.entry = resolve(function.entry)
+            changed = True
+
+    if function.remove_unreachable_blocks():
+        changed = True
+
+    # Merge straight-line pairs: A ends in Jump(B), B has only A as pred.
+    preds = function.predecessors()
+    for label in list(function.blocks):
+        if label not in function.blocks:
+            continue
+        block = function.blocks[label]
+        term = block.instrs[-1]
+        if not isinstance(term, Jump):
+            continue
+        succ = term.target
+        if succ == label or succ == function.entry:
+            continue
+        if preds.get(succ, []) != [label]:
+            continue
+        succ_block = function.blocks.pop(succ)
+        block.instrs = block.instrs[:-1] + succ_block.instrs
+        # Successor lists changed; recompute and continue next iteration.
+        preds = function.predecessors()
+        changed = True
+
+    return changed

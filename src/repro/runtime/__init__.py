@@ -1,0 +1,28 @@
+"""The dynamic-compilation runtime.
+
+At run time, a region's generating extension is driven by the
+:class:`~repro.runtime.specializer.Specializer` (polyvariant
+specialization = complete single-/multi-way loop unrolling, internal
+promotions, lazy multi-stage specialization), dispatched through
+:class:`~repro.runtime.cache.CodeCache` double-hashing code caches, with
+the staged dynamic zero/copy propagation, dead-assignment elimination,
+and strength reduction completed by :mod:`repro.runtime.emit` during
+emission.  :class:`~repro.runtime.runtime.DycRuntime` ties it together
+and plugs into the abstract machine's ``EnterRegion``/``Promote`` hooks.
+"""
+
+from repro.runtime.overhead import OverheadModel, DEFAULT_OVERHEAD
+from repro.runtime.cache import CodeCache, IndexedCache, UncheckedCache
+from repro.runtime.stats import RegionStats, RuntimeStats
+from repro.runtime.runtime import DycRuntime
+
+__all__ = [
+    "OverheadModel",
+    "DEFAULT_OVERHEAD",
+    "CodeCache",
+    "IndexedCache",
+    "UncheckedCache",
+    "RegionStats",
+    "RuntimeStats",
+    "DycRuntime",
+]

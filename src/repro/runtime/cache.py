@@ -1,0 +1,216 @@
+"""Code caches: double hashing (cache-all) and the unchecked single slot.
+
+DyC's default ``cache-all`` policy maintains, at each promotion point, a
+cache from the values of the promoted static variables to the code
+specialized for those values, "implemented using double hashing" (§2.2.3,
+citing CLR).  The ``cache-one-unchecked`` policy replaces the lookup with
+a single load — and is *unsafe*: if the annotated values do change, the
+stale version is reused without any check, exactly as the paper warns.
+
+Lookups report how many probes they took so the dispatcher can charge a
+collision-dependent cost (mipsi's ~150-cycle dispatches come from hash
+collisions, §4.4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import CacheError
+
+_EMPTY = object()
+
+
+def _hash_key(key: tuple) -> int:
+    """Deterministic hash of a tuple of numbers.
+
+    An FNV-1a-style fold over the elements' bit patterns, independent of
+    ``PYTHONHASHSEED`` so experiment results are reproducible.
+    """
+    h = 0xcbf29ce484222325
+    for element in key:
+        if isinstance(element, float):
+            data = hash(element)  # numeric hash: deterministic in CPython
+        else:
+            data = element if isinstance(element, int) else hash(element)
+        data &= 0xFFFFFFFFFFFFFFFF
+        while True:
+            h ^= data & 0xFF
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+            data >>= 8
+            if not data:
+                break
+    return h
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a cache lookup: the value (if hit) and the probe count."""
+
+    hit: bool
+    value: object
+    probes: int
+
+
+class CodeCache:
+    """An open-addressing hash table with double hashing."""
+
+    def __init__(self, initial_size: int = 16,
+                 max_load_factor: float = 0.7) -> None:
+        if initial_size < 4:
+            raise CacheError("cache size must be at least 4")
+        self._size = initial_size
+        self._keys: list = [_EMPTY] * initial_size
+        self._values: list = [None] * initial_size
+        self._count = 0
+        self._max_load = max_load_factor
+        self.total_probes = 0
+        self.total_lookups = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _probe_sequence(self, key: tuple) -> Iterator[int]:
+        h = _hash_key(key)
+        index = h % self._size
+        # Second hash must be odd so it is coprime with the (power-of-two)
+        # table size, guaranteeing a full-cycle probe sequence.
+        step = ((h >> 32) | 1) % self._size or 1
+        for _ in range(self._size):
+            yield index
+            index = (index + step) % self._size
+
+    def lookup(self, key: tuple) -> LookupResult:
+        """Find ``key``; reports the number of probes performed."""
+        probes = 0
+        self.total_lookups += 1
+        for index in self._probe_sequence(key):
+            probes += 1
+            slot_key = self._keys[index]
+            if slot_key is _EMPTY:
+                self.total_probes += probes
+                return LookupResult(False, None, probes)
+            if slot_key == key:
+                self.total_probes += probes
+                return LookupResult(True, self._values[index], probes)
+        self.total_probes += probes
+        return LookupResult(False, None, probes)
+
+    def insert(self, key: tuple, value) -> None:
+        if (self._count + 1) / self._size > self._max_load:
+            self._grow()
+        for index in self._probe_sequence(key):
+            slot_key = self._keys[index]
+            if slot_key is _EMPTY or slot_key == key:
+                if slot_key is _EMPTY:
+                    self._count += 1
+                self._keys[index] = key
+                self._values[index] = value
+                return
+        raise CacheError("cache insertion failed (table full)")
+
+    def _grow(self) -> None:
+        old_keys, old_values = self._keys, self._values
+        self._size *= 2
+        self._keys = [_EMPTY] * self._size
+        self._values = [None] * self._size
+        self._count = 0
+        for key, value in zip(old_keys, old_values):
+            if key is not _EMPTY:
+                self.insert(key, value)
+
+    @property
+    def average_probes(self) -> float:
+        if not self.total_lookups:
+            return 0.0
+        return self.total_probes / self.total_lookups
+
+    def items(self):
+        for key, value in zip(self._keys, self._values):
+            if key is not _EMPTY:
+                yield key, value
+
+
+class IndexedCache:
+    """The §3.1 extension: array-indexed dispatch for small-range keys.
+
+    "For such cases, the lookup could be implemented as a simple array
+    indexing, in place of DyC's current general-purpose hash-table
+    lookup" — the policy that would make byte-at-a-time programs
+    (decompressors, grep) profitable to compile dynamically.
+
+    The *last* component of the key tuple indexes a 256-slot array; the
+    full key is stored and verified, so unlike ``cache-one-unchecked``
+    this policy is safe: a slot collision (same index, different other
+    components) is treated as a miss and the slot is refilled.
+    """
+
+    RANGE = 256
+
+    def __init__(self) -> None:
+        self._keys: list = [_EMPTY] * self.RANGE
+        self._values: list = [None] * self.RANGE
+        self.total_lookups = 0
+        self.refills = 0
+
+    @staticmethod
+    def _index(key: tuple) -> int:
+        if not key:
+            raise CacheError("cache_indexed requires a non-empty key")
+        index = key[-1]
+        if not isinstance(index, int) or not 0 <= index < IndexedCache.RANGE:
+            raise CacheError(
+                f"cache_indexed key component {index!r} outside 0.."
+                f"{IndexedCache.RANGE - 1}; use cache_all for this "
+                "promotion"
+            )
+        return index
+
+    def lookup(self, key: tuple) -> LookupResult:
+        self.total_lookups += 1
+        index = self._index(key)
+        if self._keys[index] == key:
+            return LookupResult(True, self._values[index], 1)
+        return LookupResult(False, None, 1)
+
+    def insert(self, key: tuple, value) -> None:
+        index = self._index(key)
+        if self._keys[index] is not _EMPTY:
+            self.refills += 1
+        self._keys[index] = key
+        self._values[index] = value
+
+
+class UncheckedCache:
+    """The ``cache-one-unchecked`` policy: a single unguarded slot.
+
+    The first dispatch fills the slot; later dispatches return it without
+    comparing keys (that is the point — and the hazard).  With
+    ``strict=True`` (the annotation-checking debug mode) a key change
+    raises instead of silently reusing stale code.
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self._key: tuple | None = None
+        self._value = None
+        self._filled = False
+        self._strict = strict
+        self.total_lookups = 0
+
+    def lookup(self, key: tuple) -> LookupResult:
+        self.total_lookups += 1
+        if not self._filled:
+            return LookupResult(False, None, 1)
+        if self._strict and key != self._key:
+            raise CacheError(
+                "cache-one-unchecked dispatch with changed key "
+                f"(cached {self._key!r}, got {key!r}); the annotation "
+                "is unsafe for this program"
+            )
+        return LookupResult(True, self._value, 1)
+
+    def insert(self, key: tuple, value) -> None:
+        self._key = key
+        self._value = value
+        self._filled = True

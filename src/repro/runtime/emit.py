@@ -1,0 +1,520 @@
+"""The completion stage of DyC's staged dynamic optimizations (§2.2.7).
+
+A :class:`BlockEmitter` builds one emitted block.  As template
+instructions arrive (holes already filled with run-time-constant values),
+it performs:
+
+* **dynamic zero and copy propagation** — when the single static operand
+  of an eligible operation turns out to be 0 or 1 (etc.), the operation
+  is replaced by a clear/move; a *note table* records the replacement so
+  eligible downstream uses are rewritten ("Emit code sequences for uses
+  of the potentially optimized instruction check the table to see how
+  they should generate code for their operand");
+* **dead-assignment elimination** — buffered instructions carry
+  statically planned use counts; when zero/copy propagation eliminates
+  the last reference to a result, the producing instruction is deleted,
+  cascading to *its* operands (this is what deletes the image loads in
+  pnmconvol's zero iterations, Figure 4);
+* **dynamic strength reduction** — multiplies/divides/moduli by run-time
+  constant powers of two become shifts/masks; ×1 becomes a move and ×0 a
+  clear (which alone buys nothing for floats on the 21164, since an FP
+  move costs an FP multiply — the paper's motivation for ZCP+DAE);
+* **immediate fitting** — integer constants that fit an instruction
+  literal field are used inline, anything else is materialized into a
+  register by an extra emitted move.
+
+Notes and use counts are scoped to one emitted block: the planning stage
+identifies downstream uses within the template block (crossing blocks
+would require path-sensitive validity of the notes, which DyC's planner
+guarantees statically; block scoping is our conservative equivalent).
+
+No run-time IR analysis happens here — only the statically computed
+:class:`~repro.dyc.plans.InstrPlan` plus the note table, as the paper
+requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import OptConfig
+from repro.dyc.plans import InstrPlan
+from repro.errors import SpecializationError, TrapError
+from repro.ir.eval import (
+    IMMEDIATE_LIMIT,
+    eval_binop,
+    eval_unop,
+    fits_immediate,
+    is_power_of_two,
+    log2_exact,
+)
+from repro.opt.strength import two_term_decomposition
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Imm,
+    Instr,
+    Load,
+    Move,
+    Op,
+    Operand,
+    Reg,
+    Return,
+    Store,
+    UnOp,
+)
+from repro.runtime.overhead import OverheadModel
+from repro.runtime.stats import RegionStats
+
+#: Plan used for materialization moves the emitter inserts itself.
+_MAT_PLAN = InstrPlan(zcp_candidate=False, sr_candidate=False,
+                      local_uses=1, remote=False, removable=True)
+
+
+@dataclass
+class BufferedInstr:
+    """An emitted instruction awaiting block flush, with DAE bookkeeping."""
+
+    instr: Instr
+    expected_uses: int
+    remote: bool
+    removable: bool
+    pinned: bool = False
+    dead: bool = False
+    #: (register, producing buffer index or None) at emit time, so a
+    #: cascade delete can release this instruction's own operands.
+    use_producers: tuple[tuple[str, int | None], ...] = ()
+
+
+class BlockEmitter:
+    """Emits one block of specialized code with ZCP/DAE/SR completion."""
+
+    def __init__(self, config: OptConfig, overhead: OverheadModel,
+                 stats: RegionStats, charge) -> None:
+        self.config = config
+        self.overhead = overhead
+        self.stats = stats
+        self.charge = charge  # callable(cycles): accumulate DC overhead
+        self.items: list[BufferedInstr] = []
+        #: register -> producing buffer index (None: constant/zero note).
+        self._producer: dict[str, int | None] = {}
+        #: register -> ("const", value) | ("copy", Reg)
+        self._notes: dict[str, tuple] = {}
+        self._mat_counter = 0
+        self._residualized: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def emit_template(self, instr: Instr, values: dict[str, object],
+                      plan: InstrPlan | None) -> None:
+        """Emit one template instruction with its holes filled."""
+        self.charge(self.overhead.emit_instruction
+                    + self.overhead.hole_patch * len(values))
+        substituted = self._substitute(instr, values)
+        if isinstance(substituted, BinOp) and plan is not None:
+            if self._try_fold_or_reduce(substituted, plan):
+                return
+        self._emit_final(substituted, plan)
+
+    def flush(self, terminator: Instr) -> list[Instr]:
+        """Return the finished block body plus ``terminator``."""
+        body = [item.instr for item in self.items if not item.dead]
+        body.append(terminator)
+        return body
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for item in self.items if not item.dead)
+
+    # ------------------------------------------------------------------
+    # Substitution: holes and note propagation
+    # ------------------------------------------------------------------
+
+    def _resolve_operand(self, operand: Operand,
+                         values: dict[str, object]) -> Operand:
+        if isinstance(operand, Reg):
+            if operand.name in values:
+                return Imm(values[operand.name])
+            if self.config.zero_copy_propagation:
+                note = self._notes.get(operand.name)
+                if note is not None:
+                    if note[0] == "const":
+                        return Imm(note[1])
+                    return note[1]  # ("copy", Reg)
+        return operand
+
+    def _substitute(self, instr: Instr, values: dict[str, object]) -> Instr:
+        resolve = lambda op: self._resolve_operand(op, values)  # noqa: E731
+        if isinstance(instr, Move):
+            return Move(instr.dest, resolve(instr.src))
+        if isinstance(instr, UnOp):
+            return UnOp(instr.dest, instr.op, resolve(instr.src))
+        if isinstance(instr, BinOp):
+            return BinOp(instr.dest, instr.op, resolve(instr.lhs),
+                         resolve(instr.rhs))
+        if isinstance(instr, Load):
+            return Load(instr.dest, resolve(instr.addr),
+                        static=instr.static)
+        if isinstance(instr, Store):
+            return Store(resolve(instr.addr), resolve(instr.value))
+        if isinstance(instr, Call):
+            return Call(instr.dest, instr.callee,
+                        tuple(resolve(a) for a in instr.args),
+                        static=instr.static)
+        if isinstance(instr, Branch):
+            return Branch(resolve(instr.cond), instr.if_true,
+                          instr.if_false)
+        if isinstance(instr, Return):
+            if instr.value is None:
+                return instr
+            return Return(resolve(instr.value))
+        return instr
+
+    # ------------------------------------------------------------------
+    # ZCP + SR decision
+    # ------------------------------------------------------------------
+
+    def _try_fold_or_reduce(self, instr: BinOp, plan: InstrPlan) -> bool:
+        """Apply value-dependent folding; True when fully handled."""
+        lhs, rhs = instr.lhs, instr.rhs
+
+        # Fully constant (can happen after note propagation): fold.
+        if isinstance(lhs, Imm) and isinstance(rhs, Imm):
+            if self.config.zero_copy_propagation:
+                self.charge(self.overhead.zcp_check)
+                try:
+                    value = eval_binop(instr.op, lhs.value, rhs.value)
+                except TrapError:
+                    self._emit_final(instr, plan)
+                    return True
+                self._handle_const(instr.dest, value, plan, dying=())
+                return True
+            return False
+
+        imm, reg, imm_is_rhs = self._split_operands(lhs, rhs)
+        if imm is None:
+            return False
+
+        # --- dynamic zero & copy propagation -------------------------
+        if plan.zcp_candidate and self.config.zero_copy_propagation:
+            self.charge(self.overhead.zcp_check)
+            value = imm.value
+            if instr.op is Op.MUL and value == 0:
+                zero = value * 0  # preserves int/float flavour of operand
+                self._handle_const(instr.dest, zero, plan,
+                                   dying=(reg.name,))
+                return True
+            if instr.op is Op.MUL and value == 1:
+                self._handle_copy(instr.dest, reg, plan)
+                return True
+            if instr.op is Op.ADD and value == 0:
+                self._handle_copy(instr.dest, reg, plan)
+                return True
+            if (instr.op is Op.SUB and imm_is_rhs and value == 0):
+                self._handle_copy(instr.dest, reg, plan)
+                return True
+            if (instr.op is Op.DIV and imm_is_rhs and value == 1):
+                self._handle_copy(instr.dest, reg, plan)
+                return True
+            if instr.op in (Op.OR, Op.XOR) and value == 0:
+                self._handle_copy(instr.dest, reg, plan)
+                return True
+            if instr.op is Op.AND and value == 0:
+                self._handle_const(instr.dest, 0, plan,
+                                   dying=(reg.name,))
+                return True
+            if (instr.op in (Op.SHL, Op.SHR) and imm_is_rhs
+                    and value == 0):
+                self._handle_copy(instr.dest, reg, plan)
+                return True
+
+        # --- dynamic strength reduction -------------------------------
+        if plan.sr_candidate and self.config.strength_reduction \
+                and isinstance(imm.value, float):
+            # FP divide by a run-time constant becomes a multiply by its
+            # reciprocal (§2.2.7 covers divides with one static operand;
+            # fp_div is 6x an fp_mul on the 21164).
+            self.charge(self.overhead.sr_check)
+            if instr.op is Op.DIV and imm_is_rhs and imm.value != 0.0:
+                self._emit_final(
+                    BinOp(instr.dest, Op.MUL, reg,
+                          Imm(1.0 / imm.value)), plan
+                )
+                self.stats.sr_applied += 1
+                return True
+        if plan.sr_candidate and self.config.strength_reduction \
+                and isinstance(imm.value, int):
+            self.charge(self.overhead.sr_check)
+            value = imm.value
+            if instr.op is Op.MUL:
+                if value == 0:
+                    self._emit_final(Move(instr.dest, Imm(0)), plan)
+                    self.stats.sr_applied += 1
+                    self._dec_use(reg.name)
+                    return True
+                if value == 1:
+                    self._emit_final(Move(instr.dest, reg), plan)
+                    self.stats.sr_applied += 1
+                    return True
+                if is_power_of_two(value):
+                    self._emit_final(
+                        BinOp(instr.dest, Op.SHL, reg,
+                              Imm(log2_exact(value))), plan
+                    )
+                    self.stats.sr_applied += 1
+                    return True
+                if 0 < value <= IMMEDIATE_LIMIT:
+                    decomposition = two_term_decomposition(value)
+                    if decomposition is not None:
+                        self._emit_two_term(instr.dest, reg,
+                                            decomposition, plan)
+                        self.stats.sr_applied += 1
+                        return True
+            if instr.op is Op.DIV and imm_is_rhs:
+                if value == 1:
+                    self._emit_final(Move(instr.dest, reg), plan)
+                    self.stats.sr_applied += 1
+                    return True
+                if is_power_of_two(value):
+                    self._emit_final(
+                        BinOp(instr.dest, Op.SHR, reg,
+                              Imm(log2_exact(value))), plan
+                    )
+                    self.stats.sr_applied += 1
+                    return True
+            if instr.op is Op.MOD and imm_is_rhs \
+                    and is_power_of_two(value):
+                self._emit_final(
+                    BinOp(instr.dest, Op.AND, reg, Imm(value - 1)),
+                    plan,
+                )
+                self.stats.sr_applied += 1
+                return True
+
+        return False
+
+    def _emit_two_term(self, dest: str, reg: Reg,
+                       decomposition: tuple[int, str, int],
+                       plan: InstrPlan) -> None:
+        """Emit ``dest = reg * (2^a ± 2^b)`` as shifts plus add/sub."""
+        a, op, b = decomposition
+        self._mat_counter += 1
+        temp = f"%sr{self._mat_counter}"
+        part_plan = InstrPlan(False, False, 1, False, True)
+        self.charge(self.overhead.emit_instruction)
+        self._append(BinOp(temp, Op.SHL, reg, Imm(a)), part_plan)
+        if b == 0:
+            second: Operand = reg
+        else:
+            self._mat_counter += 1
+            second_name = f"%sr{self._mat_counter}"
+            self.charge(self.overhead.emit_instruction)
+            self._append(BinOp(second_name, Op.SHL, reg, Imm(b)),
+                         part_plan)
+            second = Reg(second_name)
+        self._append(BinOp(
+            dest, Op.ADD if op == "add" else Op.SUB, Reg(temp), second
+        ), plan)
+
+    @staticmethod
+    def _split_operands(lhs: Operand, rhs: Operand):
+        """Return (imm, reg, imm_is_rhs) for a one-constant BinOp."""
+        if isinstance(lhs, Imm) and isinstance(rhs, Reg):
+            return lhs, rhs, False
+        if isinstance(rhs, Imm) and isinstance(lhs, Reg):
+            return rhs, lhs, True
+        return None, None, False
+
+    # ------------------------------------------------------------------
+    # ZCP note handling + DAE
+    # ------------------------------------------------------------------
+
+    def _can_elide(self, plan: InstrPlan | None) -> bool:
+        return (
+            plan is not None
+            and self.config.dead_assignment_elimination
+            and plan.removable
+            and not plan.remote
+        )
+
+    def _handle_const(self, dest: str, value, plan: InstrPlan,
+                      dying: tuple[str, ...]) -> None:
+        """The instruction's result is the constant ``value``."""
+        for name in dying:
+            self._dec_use(name)
+        if value == 0:
+            self.stats.zcp_zero_hits += 1
+        else:
+            self.stats.zcp_copy_hits += 1
+        if self._can_elide(plan):
+            self.charge(self.overhead.dae_update)
+            self._kill_notes_for(dest)
+            self._notes[dest] = ("const", value)
+            self._producer[dest] = None
+            return
+        # Must materialize the constant (result is needed beyond this
+        # block, or DAE is off) — but still note it for local propagation.
+        self._emit_final(Move(dest, Imm(value)), plan)
+        self._notes[dest] = ("const", value)
+
+    def _handle_copy(self, dest: str, src: Reg, plan: InstrPlan) -> None:
+        """The instruction's result is a copy of ``src``."""
+        self.stats.zcp_copy_hits += 1
+        if src.name == dest:
+            # e.g. ``s = s + 0.0``: a self-move.  Removing it is sound
+            # regardless of liveness, but removal is DAE's job — with DAE
+            # disabled the move is emitted (and costs a full FP-move).
+            if self.config.dead_assignment_elimination:
+                self.stats.dae_removed += 1
+                self.charge(self.overhead.dae_update)
+                return
+            self._emit_final(Move(dest, src), plan)
+            return
+        src_index = self._producer.get(src.name)
+        if self._can_elide(plan):
+            self.charge(self.overhead.dae_update)
+            self._kill_notes_for(dest)
+            self._notes[dest] = ("copy", src)
+            self._producer[dest] = src_index
+            if src_index is not None:
+                item = self.items[src_index]
+                # The eliminated instruction released one use of src but
+                # dest's future local uses now land on src directly.
+                item.expected_uses += plan.local_uses - 1
+                self._maybe_kill(src_index)
+            return
+        self._emit_final(Move(dest, src), plan)
+        self._notes[dest] = ("copy", src)
+        if src_index is not None:
+            # Downstream copy-propagated uses of dest will reference src
+            # beyond its planned count: keep src's producer alive.
+            self.items[src_index].pinned = True
+
+    def _dec_use(self, name: str) -> None:
+        index = self._producer.get(name)
+        if index is None:
+            return
+        item = self.items[index]
+        if item.dead:
+            return
+        item.expected_uses -= 1
+        self._maybe_kill(index)
+
+    def _maybe_kill(self, index: int) -> None:
+        if not self.config.dead_assignment_elimination:
+            return
+        item = self.items[index]
+        if (item.dead or item.pinned or item.remote
+                or not item.removable or item.expected_uses > 0):
+            return
+        item.dead = True
+        self.stats.dae_removed += 1
+        self.charge(self.overhead.dae_update)
+        for name, producer_index in item.use_producers:
+            if producer_index is None:
+                continue
+            inner = self.items[producer_index]
+            if inner.dead:
+                continue
+            inner.expected_uses -= 1
+            self._maybe_kill(producer_index)
+
+    def _kill_notes_for(self, dest: str) -> None:
+        """A new definition of ``dest`` invalidates notes involving it."""
+        self._notes.pop(dest, None)
+        for name in [
+            n for n, note in self._notes.items()
+            if note[0] == "copy" and note[1].name == dest
+        ]:
+            del self._notes[name]
+
+    # ------------------------------------------------------------------
+    # Final emission (immediate fitting + buffer append)
+    # ------------------------------------------------------------------
+
+    def _materialize(self, operand: Operand) -> Operand:
+        """Ensure ``operand`` can be encoded; emit a constant move if not."""
+        if not isinstance(operand, Imm) or fits_immediate(operand.value):
+            return operand
+        self._mat_counter += 1
+        temp = f"%mat{self._mat_counter}"
+        self.charge(self.overhead.emit_instruction)
+        self._append(Move(temp, operand), _MAT_PLAN)
+        return Reg(temp)
+
+    def _emit_final(self, instr: Instr, plan: InstrPlan | None) -> None:
+        instr = self._fit_immediates(instr)
+        self._append(instr, plan)
+
+    def _fit_immediates(self, instr: Instr) -> Instr:
+        mat = self._materialize
+        if isinstance(instr, Move):
+            # A constant move *is* the materialization.
+            return instr
+        if isinstance(instr, UnOp):
+            return UnOp(instr.dest, instr.op, mat(instr.src))
+        if isinstance(instr, BinOp):
+            return BinOp(instr.dest, instr.op, mat(instr.lhs),
+                         mat(instr.rhs))
+        if isinstance(instr, Load):
+            return Load(instr.dest, mat(instr.addr), static=instr.static)
+        if isinstance(instr, Store):
+            return Store(mat(instr.addr), mat(instr.value))
+        if isinstance(instr, Call):
+            return Call(instr.dest, instr.callee,
+                        tuple(mat(a) for a in instr.args),
+                        static=instr.static)
+        if isinstance(instr, Branch):
+            return Branch(mat(instr.cond), instr.if_true, instr.if_false)
+        return instr
+
+    def _append(self, instr: Instr, plan: InstrPlan | None) -> None:
+        use_producers = tuple(
+            (name, self._producer.get(name)) for name in instr.uses()
+        )
+        if plan is None:
+            expected, remote, removable = 0, True, False
+        else:
+            expected = plan.local_uses
+            remote = plan.remote
+            removable = plan.removable
+        item = BufferedInstr(
+            instr=instr,
+            expected_uses=expected,
+            remote=remote,
+            removable=removable,
+            use_producers=use_producers,
+        )
+        self.items.append(item)
+        index = len(self.items) - 1
+        for dest in instr.defs():
+            self._kill_notes_for(dest)
+            self._producer[dest] = index
+
+    def emit_residual(self, name: str, value) -> None:
+        """Materialize a static variable's value as it becomes dynamic.
+
+        Idempotent per block (a two-armed branch may request the same
+        residual for both successors).
+        """
+        if name in self._residualized:
+            return
+        self._residualized.add(name)
+        self.charge(self.overhead.emit_instruction)
+        self._append(Move(name, Imm(value)), None)
+
+    # ------------------------------------------------------------------
+    # Terminator support (used by the specializer)
+    # ------------------------------------------------------------------
+
+    def prepare_terminator_operand(self, operand: Operand,
+                                   values: dict[str, object]) -> Operand:
+        """Resolve and materialize a terminator operand (branch cond,
+        return value)."""
+        resolved = self._resolve_operand(operand, values)
+        if isinstance(resolved, Imm) and isinstance(resolved.value, float):
+            return self._materialize(resolved)
+        return resolved

@@ -1,0 +1,179 @@
+"""The runtime facade: dispatching into dynamic regions.
+
+:class:`DycRuntime` is attached to a :class:`~repro.machine.Machine`; the
+machine calls back into it when host code executes an ``EnterRegion``
+terminator (region dispatch) or specialized code executes a ``Promote``
+terminator (internal dynamic-to-static promotion).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecializationError
+from repro.machine.interp import Machine
+from repro.runtime.cache import CodeCache, IndexedCache, UncheckedCache
+from repro.runtime.overhead import DEFAULT_OVERHEAD, OverheadModel
+from repro.runtime.specializer import (
+    PendingPromotion,
+    SpecializedCode,
+    Specializer,
+)
+from repro.runtime.stats import RuntimeStats
+
+
+class DycRuntime:
+    """Run-time dispatching, specialization, and statistics."""
+
+    def __init__(self, compiled, overhead: OverheadModel | None = None):
+        self.compiled = compiled
+        self.config = compiled.config
+        self.overhead = overhead if overhead is not None else \
+            DEFAULT_OVERHEAD
+        self.stats = RuntimeStats()
+        self.specializer = Specializer(self)
+        self.entry_caches: dict[int, object] = {}
+        self.pendings: dict[int, PendingPromotion] = {}
+        self._emission_counter = 0
+        self._ct_machine: Machine | None = None
+
+    # ------------------------------------------------------------------
+    # Policy / cache helpers
+    # ------------------------------------------------------------------
+
+    def effective_policy(self, policy: str) -> str:
+        """Coerce policies per the unchecked-dispatching ablation."""
+        if policy == "cache_one_unchecked" \
+                and not self.config.unchecked_dispatching:
+            return "cache_all"
+        return policy
+
+    def make_cache(self, policy: str):
+        if policy == "cache_one_unchecked":
+            return UncheckedCache(strict=self.config.check_annotations)
+        if policy == "cache_indexed":
+            return IndexedCache()
+        return CodeCache()
+
+    def new_emission_id(self) -> int:
+        self._emission_counter += 1
+        return self._emission_counter
+
+    def register_pending(self, pending: PendingPromotion) -> None:
+        self.pendings[pending.emission_id] = pending
+
+    # ------------------------------------------------------------------
+    # Machine hooks
+    # ------------------------------------------------------------------
+
+    def enter_region(self, machine: Machine, instr, env: dict):
+        """Dispatch into a dynamic region; returns ("jump", label) to
+        resume host code or ("return", value) for an in-region return."""
+        region_id = instr.region_id
+        genext = self.compiled.genexts[region_id]
+        stats = self.stats.for_region(
+            region_id, genext.region.function_name
+        )
+        policy = self.effective_policy(instr.policy)
+        cache = self.entry_caches.get(region_id)
+        if cache is None:
+            cache = self.make_cache(policy)
+            self.entry_caches[region_id] = cache
+
+        try:
+            key = tuple(env[k] for k in instr.keys)
+        except KeyError as missing:
+            raise SpecializationError(
+                f"region {region_id}: promoted variable {missing} is "
+                "undefined at region entry"
+            ) from None
+
+        result = cache.lookup(key)
+        cost = self.overhead.dispatch_cost(policy, result.probes)
+        machine.charge_dispatch(cost)
+        stats.dispatches += 1
+        stats.dispatch_cycles += cost
+        if policy == "cache_one_unchecked":
+            stats.unchecked_dispatches += 1
+        elif policy == "cache_indexed":
+            stats.indexed_dispatches += 1
+        else:
+            stats.hash_probes += result.probes
+
+        if result.hit:
+            code: SpecializedCode = result.value
+        else:
+            code = self.specializer.specialize_entry(
+                genext, machine, dict(zip(instr.keys, key))
+            )
+            cache.insert(key, code)
+            machine.charge_dc(self.overhead.cache_store)
+            stats.dc_cycles += self.overhead.cache_store
+
+        kind, payload = machine.exec_region_code(
+            code.function, env, code.footprint
+        )
+        if kind == "exit":
+            return ("jump", instr.exits[payload])
+        return ("return", payload)
+
+    def promote(self, machine: Machine, instr, env: dict, code) -> str:
+        """Handle an internal promotion in running specialized code."""
+        pending = self.pendings.get(instr.emission_id)
+        if pending is None:
+            raise SpecializationError(
+                f"promotion point {instr.point_id} has no pending "
+                f"continuation (emission {instr.emission_id})"
+            )
+        genext = pending.genext
+        stats = self.stats.for_region(
+            genext.region.region_id, genext.region.function_name
+        )
+        values = tuple(env[k] for k in instr.keys)
+        result = pending.cache.lookup(values)
+        cost = self.overhead.dispatch_cost(pending.policy, result.probes)
+        machine.charge_dispatch(cost)
+        stats.dispatches += 1
+        stats.dispatch_cycles += cost
+        stats.internal_promotions_executed += 1
+        if pending.policy == "cache_one_unchecked":
+            stats.unchecked_dispatches += 1
+        elif pending.policy == "cache_indexed":
+            stats.indexed_dispatches += 1
+        else:
+            stats.hash_probes += result.probes
+
+        if result.hit:
+            return result.value
+        label = self.specializer.specialize_continuation(
+            pending, machine, values
+        )
+        pending.cache.insert(values, label)
+        machine.charge_dc(self.overhead.cache_store)
+        stats.dc_cycles += self.overhead.cache_store
+        return label
+
+    # ------------------------------------------------------------------
+    # Compile-time evaluation of static calls
+    # ------------------------------------------------------------------
+
+    def compile_time_call(self, machine: Machine, callee: str,
+                          args: list, charge):
+        """Evaluate a ``pure`` call during dynamic compilation.
+
+        Runs on a separate compile-time machine sharing the module and
+        data memory; its cycles are reported through ``charge`` so they
+        land in the dynamic-compilation account (the static computations
+        are part of DC overhead, §4.2).
+        """
+        if self._ct_machine is None or \
+                self._ct_machine.memory is not machine.memory:
+            self._ct_machine = Machine(
+                self.compiled.module,
+                memory=machine.memory,
+                cost_model=machine.costs,
+                icache=machine.icache,
+                runtime=self,
+            )
+        before = self._ct_machine.stats.cycles
+        result = self._ct_machine.call(callee, args)
+        charge(self._ct_machine.stats.cycles - before)
+        return result

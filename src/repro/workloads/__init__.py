@@ -1,0 +1,59 @@
+"""The paper's workload: 5 applications and 5 kernels (Table 1).
+
+Each workload module provides a :class:`~repro.workloads.base.Workload`:
+MiniC source with DyC annotations, an input builder reproducing the
+paper's experimental inputs (8KB direct-mapped cache config; no
+breakpoints; a bubble-sort input program; an 11×11 convolution matrix
+with 9% ones and 83% zeroes; a perspective matrix with one light source;
+…), and the Table 1 metadata.
+"""
+
+from repro.workloads.base import Workload, WorkloadInput
+from repro.workloads.dinero import DINERO
+from repro.workloads.m88ksim import M88KSIM, make_m88ksim
+from repro.workloads.mipsi import MIPSI
+from repro.workloads.pnmconvol import PNMCONVOL
+from repro.workloads.viewperf import VIEWPERF
+from repro.workloads.kernels.binary import BINARY
+from repro.workloads.kernels.chebyshev import CHEBYSHEV
+from repro.workloads.kernels.dotproduct import DOTPRODUCT, make_dotproduct
+from repro.workloads.kernels.query import QUERY
+from repro.workloads.kernels.romberg import ROMBERG
+
+APPLICATIONS = (DINERO, M88KSIM, MIPSI, PNMCONVOL, VIEWPERF)
+KERNELS = (BINARY, CHEBYSHEV, DOTPRODUCT, QUERY, ROMBERG)
+ALL_WORKLOADS = APPLICATIONS + KERNELS
+
+WORKLOADS_BY_NAME = {w.name: w for w in ALL_WORKLOADS}
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS_BY_NAME))
+        raise KeyError(f"unknown workload {name!r} (known: {known})") \
+            from None
+
+
+__all__ = [
+    "Workload",
+    "WorkloadInput",
+    "APPLICATIONS",
+    "KERNELS",
+    "ALL_WORKLOADS",
+    "WORKLOADS_BY_NAME",
+    "get_workload",
+    "DINERO",
+    "M88KSIM",
+    "make_m88ksim",
+    "MIPSI",
+    "PNMCONVOL",
+    "VIEWPERF",
+    "BINARY",
+    "CHEBYSHEV",
+    "DOTPRODUCT",
+    "make_dotproduct",
+    "QUERY",
+    "ROMBERG",
+]

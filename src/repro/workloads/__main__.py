@@ -1,0 +1,97 @@
+"""Workload inspector: ``python -m repro.workloads [name ...]``.
+
+Runs the named workloads (default: all) statically and dynamically,
+verifies their outputs agree, and prints a per-region report: speedup,
+break-even, generated-code size, and which staged optimizations fired.
+Add ``--dump`` to also print the specialized region code.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.evalharness.runner import run_workload
+from repro.ir import format_function
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+
+def report(name: str, dump: bool) -> None:
+    workload = get_workload(name)
+    result = run_workload(workload)
+    print(f"\n=== {workload.name} ({workload.kind}): "
+          f"{workload.description} ===")
+    print(f"static vars: {workload.static_vars} = "
+          f"{workload.static_values}")
+    print(f"whole-program speedup (incl. DC overhead): "
+          f"{result.whole_program_speedup:.2f}x; region share of "
+          f"static execution: {result.region_fraction_of_static:.0%}")
+    for metrics in result.region_metrics():
+        print(f"  {metrics.region_label}: "
+              f"asymptotic {metrics.asymptotic_speedup:.2f}x, "
+              f"break-even {metrics.breakeven_units:.0f} "
+              f"{metrics.breakeven_unit}, "
+              f"{metrics.instructions_generated} instructions at "
+              f"{metrics.overhead_per_instruction:.0f} cyc/instr")
+    for region_id, stats in sorted(result.region_stats.items()):
+        used = []
+        if stats.unrolling:
+            used.append(f"{stats.unrolling} unrolling "
+                        f"({stats.contexts_specialized} contexts)")
+        if stats.used_static_loads:
+            used.append(f"static loads ({stats.static_loads_folded})")
+        if stats.used_static_calls:
+            used.append(f"static calls ({stats.static_calls_folded})")
+        if stats.used_zcp:
+            used.append(f"zcp ({stats.zcp_zero_hits} zero / "
+                        f"{stats.zcp_copy_hits} copy)")
+        if stats.used_dae:
+            used.append(f"dae ({stats.dae_removed})")
+        if stats.used_sr:
+            used.append(f"sr ({stats.sr_applied})")
+        if stats.used_internal_promotions:
+            used.append(
+                f"promotions ({stats.internal_promotions_executed})"
+            )
+        if stats.used_polyvariant_division:
+            used.append(f"divisions ({stats.divisions_used})")
+        print(f"  region {region_id}: {', '.join(used) or 'plain'}")
+    print(f"  outputs verified: {result.outputs_match}")
+    if dump:
+        # Re-run to capture the emitted code.
+        from repro.dyc import compile_annotated
+        from repro.frontend import compile_source
+        from repro.ir import Memory
+        from repro.runtime.cache import UncheckedCache
+
+        module = compile_source(workload.source)
+        compiled = compile_annotated(module)
+        memory = Memory()
+        inputs = workload.setup(memory)
+        machine, runtime = compiled.make_machine(memory=memory)
+        machine.run(workload.entry, *inputs.args)
+        for region_id, cache in sorted(runtime.entry_caches.items()):
+            if isinstance(cache, UncheckedCache):
+                codes = [cache._value] if cache._filled else []
+            else:
+                codes = [value for _, value in cache.items()]
+            for code in codes[:1]:
+                print(f"\n--- emitted code, region {region_id} ---")
+                print(format_function(code.function))
+
+
+def main(argv: list[str]) -> int:
+    dump = "--dump" in argv
+    names = [a for a in argv if not a.startswith("--")]
+    if not names:
+        names = [w.name for w in ALL_WORKLOADS]
+    for name in names:
+        try:
+            report(name, dump)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

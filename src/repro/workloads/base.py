@@ -1,0 +1,54 @@
+"""Workload protocol shared by all ten benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ir.memory import Memory
+
+
+@dataclass
+class WorkloadInput:
+    """Inputs built into a fresh memory for one run.
+
+    ``args`` are passed to the workload's entry function.  ``checksum``
+    (optional) reads memory/machine output after the run and returns a
+    comparable summary, so the harness can verify that the dynamically
+    compiled run computed exactly what the static run did.
+    """
+
+    args: list
+    checksum: Callable[[Memory, object], object] | None = None
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: Table 1 metadata + source + input builder."""
+
+    name: str
+    kind: str                     # "application" | "kernel"
+    description: str              # Table 1 "Description"
+    static_vars: str              # Table 1 "Annotated Static Variables"
+    static_values: str            # Table 1 "Values of Static Variables"
+    source: str                   # MiniC program text
+    entry: str                    # whole-program driver function
+    region_functions: tuple[str, ...]  # dynamically compiled functions
+    setup: Callable[[Memory], WorkloadInput]
+    #: What one unit of the break-even point means for this workload
+    #: (Table 3: "memory references", "searches", "breakpoint checks"...).
+    breakeven_unit: str = "invocations"
+    #: Break-even units contained in one region invocation.
+    units_per_invocation: float = 1.0
+    #: Per-experiment I-cache capacity override (bytes).  Used where the
+    #: paper's generated-code footprint must be scaled to our (smaller)
+    #: inputs to preserve the footprint/capacity ratio; documented per
+    #: workload.
+    icache_capacity_bytes: int | None = None
+    notes: str = ""
+
+    def lines_of_source(self) -> int:
+        """Table 1's "Lines" figure for the dynamically compiled code."""
+        return sum(
+            1 for line in self.source.splitlines() if line.strip()
+        )

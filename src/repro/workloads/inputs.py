@@ -1,0 +1,126 @@
+"""Deterministic synthetic-input generators.
+
+The paper's workloads consume external inputs (address traces, images,
+vertex streams, database files).  We regenerate equivalents with a fixed
+linear-congruential generator so every run of every experiment sees
+byte-identical inputs — determinism is what lets the cycle-count tables
+reproduce exactly.
+"""
+
+from __future__ import annotations
+
+
+class Lcg:
+    """Numerical-Recipes-flavoured 32-bit linear congruential generator."""
+
+    MULTIPLIER = 1664525
+    INCREMENT = 1013904223
+    MODULUS = 2 ** 32
+
+    def __init__(self, seed: int = 0x2F6E2B1):
+        self.state = seed % self.MODULUS
+
+    def next_int(self, bound: int) -> int:
+        """Uniform-ish integer in [0, bound)."""
+        self.state = (
+            self.state * self.MULTIPLIER + self.INCREMENT
+        ) % self.MODULUS
+        return (self.state >> 8) % bound
+
+    def next_float(self) -> float:
+        """Uniform-ish float in [0, 1)."""
+        return self.next_int(1 << 24) / float(1 << 24)
+
+    def choice(self, items):
+        return items[self.next_int(len(items))]
+
+
+def address_trace(count: int, seed: int = 7,
+                  working_set: int = 64 * 1024,
+                  locality: float = 0.8,
+                  stride: int = 4) -> list[int]:
+    """A synthetic memory-reference trace with spatial locality.
+
+    With probability ``locality`` the next reference is sequential from
+    the previous one; otherwise it jumps to a random location in the
+    working set — a standard first-order model of the traces dinero
+    consumes.
+    """
+    rng = Lcg(seed)
+    trace: list[int] = []
+    addr = rng.next_int(working_set)
+    for _ in range(count):
+        if rng.next_float() < locality:
+            addr = (addr + stride) % working_set
+        else:
+            addr = rng.next_int(working_set)
+        trace.append(addr)
+    return trace
+
+
+def convolution_matrix(rows: int = 11, cols: int = 11,
+                       ones_fraction: float = 0.09,
+                       zeros_fraction: float = 0.83,
+                       seed: int = 3) -> list[list[float]]:
+    """A convolution matrix matching Table 1's pnmconvol input:
+    11×11 with 9% ones and 83% zeroes (the rest are other weights)."""
+    rng = Lcg(seed)
+    total = rows * cols
+    n_ones = round(total * ones_fraction)
+    n_zeros = round(total * zeros_fraction)
+    n_other = total - n_ones - n_zeros
+    values = (
+        [1.0] * n_ones
+        + [0.0] * n_zeros
+        + [round(0.1 + 0.8 * rng.next_float(), 3) for _ in range(n_other)]
+    )
+    # Deterministic shuffle (Fisher-Yates with the LCG).
+    for i in range(total - 1, 0, -1):
+        j = rng.next_int(i + 1)
+        values[i], values[j] = values[j], values[i]
+    return [values[r * cols:(r + 1) * cols] for r in range(rows)]
+
+
+def grayscale_image(rows: int, cols: int, seed: int = 11) -> list[float]:
+    """A synthetic grayscale image (row-major floats in [0, 256))."""
+    rng = Lcg(seed)
+    return [round(rng.next_float() * 255.0, 2)
+            for _ in range(rows * cols)]
+
+
+def sparse_vector(count: int, zeros_fraction: float,
+                  seed: int = 5) -> list[float]:
+    """dotproduct's static vector: Table 1 uses 100 ints, 90% zeroes."""
+    rng = Lcg(seed)
+    n_zeros = round(count * zeros_fraction)
+    values = [0.0] * n_zeros + [
+        float(1 + rng.next_int(9)) for _ in range(count - n_zeros)
+    ]
+    for i in range(count - 1, 0, -1):
+        j = rng.next_int(i + 1)
+        values[i], values[j] = values[j], values[i]
+    return values
+
+
+def database_records(count: int, fields: int, seed: int = 13,
+                     bound: int = 100) -> list[list[int]]:
+    """Synthetic fixed-width integer records for the query kernel."""
+    rng = Lcg(seed)
+    return [
+        [rng.next_int(bound) for _ in range(fields)]
+        for _ in range(count)
+    ]
+
+
+def vertex_stream(count: int, seed: int = 17) -> list[float]:
+    """Homogeneous 3-D vertices (x, y, z, 1) for viewperf."""
+    rng = Lcg(seed)
+    out: list[float] = []
+    for _ in range(count):
+        out.extend([
+            round(rng.next_float() * 4.0 - 2.0, 3),
+            round(rng.next_float() * 4.0 - 2.0, 3),
+            round(rng.next_float() * 4.0 - 2.0, 3),
+            1.0,
+        ])
+    return out

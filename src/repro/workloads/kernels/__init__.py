@@ -1,0 +1,6 @@
+"""The kernel benchmarks used by prior dynamic-compilation systems.
+
+Included "to provide continuity to previous studies and to contrast
+their characteristics with the larger programs" (§3.1).  Each is one to
+two orders of magnitude smaller than the applications.
+"""

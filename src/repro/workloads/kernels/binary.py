@@ -1,0 +1,79 @@
+"""binary — binary search over a static array (Table 1: 16 integers).
+
+Both the array pointer and its *contents* are annotated static.  The
+search loop's bounds (lo/hi) are annotated, so polyvariant
+specialization unrolls the loop — and because the comparison against the
+(dynamic) key branches to iterations that update lo/hi *differently*,
+the unrolled result is a comparison *tree*: multi-way unrolling.  The
+array loads fold away, leaving pure compare-and-branch code with the
+probed values as immediates.
+"""
+
+from __future__ import annotations
+
+from repro.ir.memory import Memory
+from repro.workloads.base import Workload, WorkloadInput
+from repro.workloads.inputs import Lcg
+
+ARRAY_SIZE = 16
+SEARCHES = 1500
+
+SOURCE = """
+func bsearch(arr, n, key) {
+    make_static(arr, n, lo, hi, mid) : cache_one_unchecked;
+    var lo = 0;
+    var hi = n - 1;
+    while (lo <= hi) {
+        var mid = (lo + hi) / 2;
+        var probe = arr@[mid];
+        if (probe == key) { return mid; }
+        if (probe < key) { lo = mid + 1; }
+        else { hi = mid - 1; }
+    }
+    return 0 - 1;
+}
+
+func main(arr, n, keys, nkeys) {
+    var found = 0;
+    for (q = 0; q < nkeys; q = q + 1) {
+        var idx = bsearch(arr, n, keys[q]);
+        if (idx >= 0) { found = found + 1; }
+    }
+    print_val(found);
+    return found;
+}
+"""
+
+
+def _setup(mem: Memory) -> WorkloadInput:
+    rng = Lcg(seed=0xACE)
+    # Values fit the Alpha literal field, as small integer keys would.
+    values = sorted({rng.next_int(250) for _ in range(ARRAY_SIZE * 2)})
+    values = values[:ARRAY_SIZE]
+    while len(values) < ARRAY_SIZE:
+        values.append(values[-1] + 1)
+    arr = mem.alloc_array(values)
+    keys = [rng.choice(values) if rng.next_float() < 0.5
+            else rng.next_int(250) for _ in range(SEARCHES)]
+    keys_base = mem.alloc_array(keys)
+    args = [arr, ARRAY_SIZE, keys_base, SEARCHES]
+
+    def checksum(memory: Memory, machine) -> tuple:
+        return tuple(machine.output)
+
+    return WorkloadInput(args=args, checksum=checksum)
+
+
+BINARY = Workload(
+    name="binary",
+    kind="kernel",
+    description="binary search over an array",
+    static_vars="the input array and its contents",
+    static_values="16 integers",
+    source=SOURCE,
+    entry="main",
+    region_functions=("bsearch",),
+    setup=_setup,
+    breakeven_unit="searches",
+    units_per_invocation=1.0,
+)

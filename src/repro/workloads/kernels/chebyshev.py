@@ -1,0 +1,97 @@
+"""chebyshev — polynomial function approximation (Table 1: degree 10).
+
+Chebyshev interpolation evaluates ``f`` at the Chebyshev nodes and forms
+coefficients ``c_j = 2/n * Σ_k f(x_k)·cos(πj(k+½)/n)``.  With the degree
+annotated static, both coefficient loops unroll and — the key
+optimization (§4.4.4) — the ``cos`` calls are *static calls*, memoized
+at dynamic compile time: "treating calls to cosine as static in
+chebyshev turned a marginal 20% advantage into a 6-fold speedup".  What
+remains at run time is just the Clenshaw recurrence on the dynamic
+evaluation point.
+"""
+
+from __future__ import annotations
+
+from repro.ir.memory import Memory
+from repro.workloads.base import Workload, WorkloadInput
+
+DEGREE = 10
+EVALUATIONS = 40
+
+SOURCE = """
+// The function being approximated.  Deliberately *unannotated*: DyC
+// treats calls to unannotated functions as dynamic even with static
+// arguments (§2.2.6, they may have side effects), so the integrand is
+// re-evaluated at run time — only the cos() node/weight computations
+// fold away.  That split is what yields the paper's 6x (§4.4.4).
+func fdyn(x) {
+    return 1.0 / (1.0 + x * x);
+}
+
+// Evaluate the degree-n Chebyshev approximation of fdyn at x.
+func cheb(n, x) {
+    make_static(n, j, k) : cache_one_unchecked;
+    var pi = 3.141592653589793;
+    // Clenshaw recurrence state (dynamic: depends on x).
+    var d1 = 0.0;
+    var d2 = 0.0;
+    var y = 2.0 * x;
+    for (j = n - 1; j >= 1; j = j - 1) {
+        // Coefficient c_j: the Chebyshev nodes and weights are static
+        // (cos memoized at dynamic compile time); the function values
+        // are dynamic calls on (folded) constant arguments.
+        var c = 0.0;
+        for (k = 0; k < n; k = k + 1) {
+            var node = cos(pi * (k + 0.5) / n);
+            c = c + fdyn(node) * cos(pi * j * (k + 0.5) / n);
+        }
+        c = c * (2.0 / n);
+        var save = d1;
+        d1 = y * d1 - d2 + c;
+        d2 = save;
+    }
+    // j = 0 term (halved).
+    var c0 = 0.0;
+    for (k = 0; k < n; k = k + 1) {
+        c0 = c0 + fdyn(cos(pi * (k + 0.5) / n));
+    }
+    c0 = c0 * (2.0 / n);
+    return x * d1 - d2 + 0.5 * c0;
+}
+
+func main(n, points, npoints) {
+    var check = 0.0;
+    for (p = 0; p < npoints; p = p + 1) {
+        check = check + cheb(n, points[p]);
+    }
+    print_val(check);
+    return 0;
+}
+"""
+
+
+def _setup(mem: Memory) -> WorkloadInput:
+    points = [(-1.0 + 2.0 * p / (EVALUATIONS - 1))
+              for p in range(EVALUATIONS)]
+    base = mem.alloc_array(points)
+    args = [DEGREE, base, EVALUATIONS]
+
+    def checksum(memory: Memory, machine) -> tuple:
+        return tuple(round(v, 6) for v in machine.output)
+
+    return WorkloadInput(args=args, checksum=checksum)
+
+
+CHEBYSHEV = Workload(
+    name="chebyshev",
+    kind="kernel",
+    description="polynomial function approximation",
+    static_vars="the degree of the polynomial",
+    static_values="10",
+    source=SOURCE,
+    entry="main",
+    region_functions=("cheb",),
+    setup=_setup,
+    breakeven_unit="interpolations",
+    units_per_invocation=1.0,
+)

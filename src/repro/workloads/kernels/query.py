@@ -1,0 +1,90 @@
+"""query — test a database entry for a match (Table 1: 7 comparisons).
+
+The query — an array of (field, operator, value) triples — is annotated
+static.  The loop over query terms unrolls completely, the query-term
+loads fold, and each emitted comparison carries its threshold as an
+immediate: the generic predicate interpreter specializes into straight-
+line compare code for the particular query, once per query.
+"""
+
+from __future__ import annotations
+
+from repro.ir.memory import Memory
+from repro.workloads.base import Workload, WorkloadInput
+from repro.workloads.inputs import database_records
+
+FIELDS = 8
+RECORDS = 700
+TERMS = 7
+
+#: Query operators.
+OP_EQ, OP_LT, OP_GT = 0, 1, 2
+
+SOURCE = """
+// Does the fixed-width record at `rec` satisfy every query term?
+// Query layout: nterms triples [field, op, value]; op: 0 ==, 1 <, 2 >.
+func match(rec, q, nterms) {
+    make_static(q, nterms, t) : cache_one_unchecked;
+    for (t = 0; t < nterms; t = t + 1) {
+        var field = q@[t * 3];
+        var op = q@[t * 3 + 1];
+        var value = q@[t * 3 + 2];
+        var actual = rec[field];
+        if (op == 0) {
+            if (actual != value) { return 0; }
+        } else { if (op == 1) {
+            if (actual >= value) { return 0; }
+        } else {
+            if (actual <= value) { return 0; }
+        } }
+    }
+    return 1;
+}
+
+func main(db, nrecords, nfields, q, nterms) {
+    var matches = 0;
+    for (r = 0; r < nrecords; r = r + 1) {
+        matches = matches + match(db + r * nfields, q, nterms);
+    }
+    print_val(matches);
+    return matches;
+}
+"""
+
+#: The paper's "a query / 7 comparisons": a conjunctive 7-term query.
+QUERY_TERMS = [
+    0, OP_LT, 80,
+    1, OP_GT, 10,
+    2, OP_LT, 90,
+    3, OP_GT, 5,
+    4, OP_LT, 95,
+    5, OP_GT, 20,
+    6, OP_LT, 70,
+]
+
+
+def _setup(mem: Memory) -> WorkloadInput:
+    records = database_records(RECORDS, FIELDS)
+    db = mem.alloc_array([v for rec in records for v in rec])
+    q = mem.alloc_array(QUERY_TERMS)
+    args = [db, RECORDS, FIELDS, q, TERMS]
+
+    def checksum(memory: Memory, machine) -> tuple:
+        return tuple(machine.output)
+
+    return WorkloadInput(args=args, checksum=checksum)
+
+
+QUERY = Workload(
+    name="query",
+    kind="kernel",
+    description="tests database entry for match",
+    static_vars="a query",
+    static_values="7 comparisons",
+    source=SOURCE,
+    entry="main",
+    region_functions=("match",),
+    setup=_setup,
+    breakeven_unit="database entry comparisons",
+    units_per_invocation=1.0,
+)

@@ -1,0 +1,97 @@
+"""romberg — function integration by iteration (Table 1: bound 6).
+
+The Romberg iteration bound is annotated static, so the refinement and
+Richardson-extrapolation loops unroll completely, the node coefficients
+``(2k−1)`` and extrapolation denominators ``4^j − 1`` fold into
+immediates, and only the integrand evaluations and the tableau
+loads/stores remain dynamic.  The speedup is modest (the paper reports
+1.3): the dynamic work — integrand calls — dominates, which is exactly
+why romberg exercises so few of DyC's optimizations (Table 2).
+"""
+
+from __future__ import annotations
+
+from repro.ir.memory import Memory
+from repro.workloads.base import Workload, WorkloadInput
+
+LEVELS = 6
+INTEGRATIONS = 24
+
+SOURCE = """
+// The integrand: deliberately *not* pure-annotated; it is evaluated at
+// dynamic points, so its calls stay in the emitted code.
+func integrand(x) {
+    return 1.0 / (1.0 + x * x);
+}
+
+// Romberg integration of `integrand` over [a, b] with m levels.
+// r is an m-word scratch tableau row.
+func romberg(m, a, b, r) {
+    make_static(m, i, j, k, npts, p4) : cache_one_unchecked;
+    var h = b - a;
+    r[0] = (integrand(a) + integrand(b)) * h / 2.0;
+    var npts = 1;
+    for (i = 1; i < m; i = i + 1) {
+        h = h / 2.0;
+        var sum = 0.0;
+        for (k = 1; k <= npts; k = k + 1) {       // npts = 2^(i-1)
+            sum = sum + integrand(a + (2.0 * k - 1.0) * h);
+        }
+        var prev = r[0];
+        r[0] = r[0] / 2.0 + sum * h;
+        var p4 = 4.0;
+        for (j = 1; j <= i; j = j + 1) {
+            // The 4^j - 1 denominators are run-time constants: dynamic
+            // strength reduction turns each divide into a multiply by
+            // the reciprocal.
+            var cur = r[j - 1] + (r[j - 1] - prev) / (p4 - 1.0);
+            prev = r[j];
+            r[j] = cur;
+            p4 = p4 * 4.0;
+        }
+        npts = npts * 2;
+    }
+    return r[m - 1];
+}
+
+func main(m, bounds, nruns, r) {
+    var check = 0.0;
+    for (t = 0; t < nruns; t = t + 1) {
+        var a = bounds[t * 2];
+        var b = bounds[t * 2 + 1];
+        check = check + romberg(m, a, b, r);
+    }
+    print_val(check);
+    return 0;
+}
+"""
+
+
+def _setup(mem: Memory) -> WorkloadInput:
+    bounds = []
+    for t in range(INTEGRATIONS):
+        a = -1.0 + 0.05 * t
+        bounds.extend([a, a + 2.0])
+    bounds_base = mem.alloc_array(bounds)
+    r = mem.alloc(LEVELS, fill=0.0)
+    args = [LEVELS, bounds_base, INTEGRATIONS, r]
+
+    def checksum(memory: Memory, machine) -> tuple:
+        return tuple(round(v, 6) for v in machine.output)
+
+    return WorkloadInput(args=args, checksum=checksum)
+
+
+ROMBERG = Workload(
+    name="romberg",
+    kind="kernel",
+    description="function integration by iteration",
+    static_vars="the iteration bound",
+    static_values="6",
+    source=SOURCE,
+    entry="main",
+    region_functions=("romberg",),
+    setup=_setup,
+    breakeven_unit="integrations",
+    units_per_invocation=1.0,
+)

@@ -1,0 +1,161 @@
+"""viewperf — the SPEC Viewperf driver over Mesa (OpenGL).
+
+Two routines are dynamically compiled (Table 1):
+
+``project_and_clip`` (Mesa's ``project_and_clip_test``)
+    transforms vertices by the 4×4 projection matrix and computes clip
+    flags.  The projection matrix is annotated static (Table 1: a
+    perspective matrix), so the 4×4 inner loops unroll single-way, the
+    matrix loads fold, and — since a perspective matrix is mostly zeros
+    — dynamic zero propagation and dead-assignment elimination delete
+    most of each dot product.
+
+``shade`` (Mesa's ``gl_color_shade_vertices``)
+    per-vertex lighting with static light parameters.  The front/back
+    material split is the paper's polyvariant-division example
+    (§4.4.4): on the one-sided path the material color is annotated
+    static (and folds into the emitted per-vertex code); on the
+    two-sided path it is a dynamic argument.  Both divisions of the
+    downstream loop are compiled, each optimized for its own binding
+    times.  The original Mesa shipped hand-specialized shader variants;
+    following §3.1 we keep only the general-purpose routine and let
+    dynamic compilation generate the specialized versions.
+"""
+
+from __future__ import annotations
+
+from repro.ir.memory import Memory
+from repro.workloads.base import Workload, WorkloadInput
+from repro.workloads.inputs import vertex_stream
+
+#: Vertices per frame and frames per run.
+VERTICES = 60
+FRAMES = 14
+
+#: A perspective projection matrix (fovy 90°, near 1, far 10): mostly
+#: zeros — the ZCP/DAE fodder the paper's speedup comes from.
+PROJECTION = [
+    1.0, 0.0, 0.0, 0.0,
+    0.0, 1.0, 0.0, 0.0,
+    0.0, 0.0, -1.2222222, -2.2222222,
+    0.0, 0.0, -1.0, 0.0,
+]
+
+SOURCE = """
+// Mesa project_and_clip_test: out = M * v per vertex, plus clip flags.
+func project_and_clip(m, verts, n, out, clipflags) {
+    make_static(m, r, c) : cache_one_unchecked;
+    for (v = 0; v < n; v = v + 1) {
+        for (r = 0; r < 4; r = r + 1) {
+            var sum = 0.0;
+            for (c = 0; c < 4; c = c + 1) {
+                sum = sum + m@[r * 4 + c] * verts[v * 4 + c];
+            }
+            out[v * 4 + r] = sum;
+        }
+        // Branchless clip-mask computation (as Mesa does).
+        var x = out[v * 4];
+        var y = out[v * 4 + 1];
+        var w = out[v * 4 + 3];
+        var f0 = x < 0.0 - w;
+        var f1 = (x > w) << 1;
+        var f2 = (y < 0.0 - w) << 2;
+        var f3 = (y > w) << 3;
+        clipflags[v] = f0 | f1 | f2 | f3;
+    }
+    return 0;
+}
+
+// Mesa gl_color_shade_vertices (simplified to one light + ambient).
+func shade(verts, n, colors, lr, lg, lb, amb, k0, k1, twoside,
+           backr, backg, backb) {
+    make_static(lr, lg, lb, amb, k0, k1) : cache_one_unchecked;
+    var kr = backr;
+    var kg = backg;
+    var kb = backb;
+    if (twoside == 0) {
+        // One-sided: the material color derives from static light
+        // state on this path only -> polyvariant division.
+        make_static(kr, kg, kb);
+        kr = lr;
+        kg = lg;
+        kb = lb;
+    }
+    for (v = 0; v < n; v = v + 1) {
+        var nz = verts[v * 4 + 2];
+        var d = verts[v * 4 + 3];
+        // Distance attenuation, as in Mesa.  With the usual light state
+        // (k0 = 1, k1 = 0) the staged dynamic zero/copy propagation
+        // cascades: k1*d -> 0, k0+0 -> 1.0, 1.0/1.0 -> 1.0, and every
+        // multiplication by the attenuation folds away - deleting the
+        // FP divide from the emitted per-vertex code entirely.
+        var atten = 1.0 / (k0 + k1 * d);
+        var inten = (amb + nz * 0.5) * atten;
+        colors[v * 3] = kr * inten;
+        colors[v * 3 + 1] = kg * inten;
+        colors[v * 3 + 2] = kb * inten;
+    }
+    return 0;
+}
+
+// Per-frame vertex animation (statically compiled driver work).
+func animate(verts, n, phase) {
+    for (v = 0; v < n; v = v + 1) {
+        var z = verts[v * 4 + 2];
+        verts[v * 4 + 2] = z + 0.01 * phase - 0.005;
+    }
+    return 0;
+}
+
+func main(m, verts, n, out, clipflags, colors, frames) {
+    var check = 0.0;
+    for (f = 0; f < frames; f = f + 1) {
+        animate(verts, n, f % 3);
+        project_and_clip(m, verts, n, out, clipflags);
+        var twoside = 0;
+        if (f % 4 == 3) { twoside = 1; }
+        shade(out, n, colors, 1.0, 1.0, 0.8, 0.2, 1.0, 0.0, twoside,
+              0.3, 0.3, 0.3);
+        check = check + colors[0] + clipflags[0];
+    }
+    print_val(check);
+    return 0;
+}
+"""
+
+
+def _setup(mem: Memory) -> WorkloadInput:
+    verts = mem.alloc_array(vertex_stream(VERTICES))
+    m = mem.alloc_array(PROJECTION)
+    out = mem.alloc(VERTICES * 4, fill=0.0)
+    clipflags = mem.alloc(VERTICES, fill=0)
+    colors = mem.alloc(VERTICES * 3, fill=0.0)
+    args = [m, verts, VERTICES, out, clipflags, colors, FRAMES]
+
+    def checksum(memory: Memory, machine) -> tuple:
+        return tuple(
+            round(v, 6) if isinstance(v, float) else v
+            for v in machine.output
+        )
+
+    return WorkloadInput(args=args, checksum=checksum)
+
+
+VIEWPERF = Workload(
+    name="viewperf",
+    kind="application",
+    description="renderer",
+    static_vars="3D projection matrix, lighting vars",
+    static_values="perspective matrix, one light source",
+    source=SOURCE,
+    entry="main",
+    region_functions=("project_and_clip", "shade"),
+    setup=_setup,
+    breakeven_unit="invocations",
+    units_per_invocation=1.0,
+    notes=(
+        f"{FRAMES} frames of {VERTICES} vertices; every fourth frame "
+        "uses two-sided lighting, exercising the shader's second "
+        "division."
+    ),
+)

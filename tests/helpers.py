@@ -1,0 +1,51 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.ir import Function, FunctionBuilder, Memory, Module, Op
+from repro.machine import Machine
+
+
+def run_function(function: Function, *args, memory: Memory | None = None,
+                 module: Module | None = None):
+    """Execute a lone function on a fresh machine; return (result, machine)."""
+    if module is None:
+        module = Module()
+    if function.name not in module.functions:
+        module.add_function(function)
+    machine = Machine(module, memory=memory)
+    result = machine.run(function.name, *args)
+    return result, machine
+
+
+def build_countdown(n_param: str = "n") -> Function:
+    """``f(n): s=0; while n>0: s+=n; n-=1; return s`` — a loop fixture."""
+    b = FunctionBuilder("countdown", (n_param,))
+    b.move("s", 0)
+    b.jump("head")
+    b.label("head")
+    b.binop("c", Op.GT, n_param, 0)
+    b.branch("c", "body", "done")
+    b.label("body")
+    b.binop("s", Op.ADD, "s", n_param)
+    b.binop(n_param, Op.SUB, n_param, 1)
+    b.jump("head")
+    b.label("done")
+    b.ret("s")
+    return b.finish()
+
+
+def build_diamond() -> Function:
+    """``f(x): if x then y=1 else y=2; return y+x`` — a branch fixture."""
+    b = FunctionBuilder("diamond", ("x",))
+    b.branch("x", "then", "else")
+    b.label("then")
+    b.move("y", 1)
+    b.jump("join")
+    b.label("else")
+    b.move("y", 2)
+    b.jump("join")
+    b.label("join")
+    b.binop("r", Op.ADD, "y", "x")
+    b.ret("r")
+    return b.finish()

@@ -1,0 +1,108 @@
+"""Tests for the annotation-checking debug mode.
+
+``@`` loads and ``cache_one_unchecked`` are unsafe programmer assertions
+(§2.2.6, §4.4.3).  ``OptConfig(check_annotations=True)`` arms the
+checking machinery: asserted-invariant addresses are watched for stores,
+and unchecked dispatches with changed keys raise instead of reusing
+stale code.
+"""
+
+import pytest
+
+from repro.config import OptConfig
+from repro.dyc import compile_annotated
+from repro.errors import CacheError
+from repro.frontend import compile_source
+from repro.ir import Memory
+from repro.machine import Machine
+
+CHECKED = OptConfig(check_annotations=True)
+
+
+class TestStaticLoadWatching:
+    SRC = """
+    func f(p, x) {
+        make_static(p);
+        var w = p@[0];
+        return w * x;
+    }
+    func mutate(p) {
+        p[0] = 99;
+        return 0;
+    }
+    func main(p, x) {
+        var a = f(p, x);
+        mutate(p);
+        var b = f(p, x);
+        return a + b;
+    }
+    """
+
+    def test_watched_address_recorded(self):
+        module = compile_source(self.SRC)
+        compiled = compile_annotated(module, CHECKED)
+        mem = Memory()
+        p = mem.alloc_array([7])
+        machine, _ = compiled.make_machine(memory=mem)
+        machine.run("main", p, 2)
+        # The store through mutate() hit an asserted-invariant address.
+        assert mem.watch_violations == [p]
+
+    def test_no_violation_without_mutation(self):
+        src = """
+        func f(p, x) {
+            make_static(p);
+            return p@[0] * x;
+        }
+        """
+        module = compile_source(src)
+        compiled = compile_annotated(module, CHECKED)
+        mem = Memory()
+        p = mem.alloc_array([7])
+        machine, _ = compiled.make_machine(memory=mem)
+        machine.run("f", p, 2)
+        machine.run("f", p, 3)
+        assert mem.watch_violations == []
+
+    def test_unwatched_without_checking(self):
+        module = compile_source(self.SRC)
+        compiled = compile_annotated(module)  # checking off
+        mem = Memory()
+        p = mem.alloc_array([7])
+        machine, _ = compiled.make_machine(memory=mem)
+        machine.run("main", p, 2)
+        assert mem.watch_violations == []
+
+    def test_stale_value_demonstrated(self):
+        # Without checking, the unsafe assertion silently uses stale
+        # data: b still sees the old p[0] (folded at specialize time).
+        module = compile_source(self.SRC)
+        compiled = compile_annotated(module)
+        mem = Memory()
+        p = mem.alloc_array([7])
+        machine, _ = compiled.make_machine(memory=mem)
+        result = machine.run("main", p, 2)
+        assert result == 14 + 14  # second call reused w == 7
+
+
+class TestUncheckedDispatchChecking:
+    SRC = """
+    func f(x, n) {
+        make_static(n) : cache_one_unchecked;
+        return x * n;
+    }
+    """
+
+    def test_checked_mode_catches_key_change(self):
+        compiled = compile_annotated(compile_source(self.SRC), CHECKED)
+        machine, _ = compiled.make_machine()
+        assert machine.run("f", 2, 3) == 6
+        assert machine.run("f", 5, 3) == 15      # same key: fine
+        with pytest.raises(CacheError, match="unsafe"):
+            machine.run("f", 2, 4)
+
+    def test_unchecked_mode_reuses_silently(self):
+        compiled = compile_annotated(compile_source(self.SRC))
+        machine, _ = compiled.make_machine()
+        assert machine.run("f", 2, 3) == 6
+        assert machine.run("f", 2, 4) == 6       # stale but silent

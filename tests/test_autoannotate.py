@@ -1,0 +1,186 @@
+"""Tests for the §6 extension: profile-driven automatic annotation."""
+
+import pytest
+
+from repro.autoannotate import (
+    ValueProfiler,
+    annotate_module,
+    suggest_annotations,
+)
+from repro.dyc import compile_annotated, compile_static
+from repro.frontend import compile_source
+from repro.ir import Memory
+from repro.machine import Machine
+
+#: An *unannotated* dot-product program whose driver holds the vector
+#: and length fixed while the other operand varies — the exact pattern
+#: value profiling is supposed to discover.
+SRC = """
+func dot(v, w, n) {
+    var s = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+        s = s + v[i] * w[i];
+    }
+    return s;
+}
+
+func cold(x) {
+    return x + 1;
+}
+
+func main(v, ws, n, reps) {
+    var check = 0.0;
+    for (r = 0; r < reps; r = r + 1) {
+        check = check + dot(v, ws + (r % 4) * n, n);
+    }
+    check = check + cold(1);
+    return check;
+}
+"""
+
+
+def profiled_run():
+    module = compile_source(SRC)
+    mem = Memory()
+    v = mem.alloc_array([0.0, 1.0, 0.0, 2.0, 0.0, 1.0, 0.0, 0.0])
+    ws = mem.alloc_array([float(i % 7) for i in range(32)])
+    machine = Machine(compile_static(module), memory=mem)
+    profiler = ValueProfiler(module)
+    machine.profiler = profiler
+    result = machine.run("main", v, ws, 8, 20)
+    return module, profiler, result, (v, ws)
+
+
+class TestValueProfiler:
+    def test_call_counts(self):
+        _, profiler, _, _ = profiled_run()
+        assert profiler.functions["dot"].calls == 20
+        assert profiler.functions["cold"].calls == 1
+        assert profiler.functions["main"].calls == 1
+
+    def test_parameter_distributions(self):
+        _, profiler, _, _ = profiled_run()
+        dot = profiler.functions["dot"]
+        assert dot.param_profiles["v"].distinct == 1       # invariant
+        assert dot.param_profiles["n"].distinct == 1       # invariant
+        assert dot.param_profiles["w"].distinct == 4       # rotates
+        assert dot.param_profiles["v"].invariance == 1.0
+
+    def test_hotness_ordering(self):
+        _, profiler, _, _ = profiled_run()
+        hottest = profiler.hottest(3)
+        assert hottest[0].name == "main"      # inclusive cycles
+        assert hottest[1].name == "dot"
+        assert profiler.functions["dot"].inclusive_cycles > \
+            profiler.functions["cold"].inclusive_cycles
+
+    def test_overflow_cap(self):
+        module = compile_source("func g(x) { return x; }")
+        machine = Machine(module)
+        profiler = ValueProfiler(module, max_tracked_values=8)
+        machine.profiler = profiler
+        for value in range(50):
+            machine.run("g", value)
+        pp = profiler.functions["g"].param_profiles["x"]
+        assert pp.overflowed
+        assert pp.invariance == 0.0
+
+
+class TestSuggestions:
+    def test_discovers_the_manual_annotation(self):
+        module, profiler, _, _ = profiled_run()
+        suggestions = suggest_annotations(profiler, module)
+        by_name = {s.function: s for s in suggestions}
+        assert "dot" in by_name
+        dot = by_name["dot"]
+        # The paper's manual annotation for dotproduct: v, n, and the
+        # loop index (Table 1 / our workload source).
+        assert set(dot.params) == {"v", "n"}
+        assert dot.induction_vars == ("i",)
+        assert dot.policy == "cache_one_unchecked"  # single value each
+        assert "w" not in dot.params               # varies: not static
+        assert dot.annotation_source() == \
+            "make_static(v, n, i) : cache_one_unchecked;"
+
+    def test_cold_functions_excluded(self):
+        module, profiler, _, _ = profiled_run()
+        suggestions = suggest_annotations(profiler, module)
+        assert all(s.function != "cold" for s in suggestions)
+
+    def test_rationale_is_informative(self):
+        module, profiler, _, _ = profiled_run()
+        [dot] = [s for s in suggest_annotations(profiler, module)
+                 if s.function == "dot"]
+        assert "quasi-invariant" in dot.rationale
+        assert "unroll" in dot.rationale
+
+    def test_byte_range_parameter_gets_indexed_policy(self):
+        src = """
+        func classify(table, c) {
+            return table[c];
+        }
+        func main(table, input, n) {
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) {
+                s = s + classify(table, input[i]);
+            }
+            return s;
+        }
+        """
+        module = compile_source(src)
+        mem = Memory()
+        table = mem.alloc_array(list(range(100, 120)))
+        codes = mem.alloc_array([i % 20 for i in range(60)])
+        machine = Machine(compile_static(module), memory=mem)
+        profiler = ValueProfiler(module)
+        machine.profiler = profiler
+        machine.run("main", table, codes, 60)
+        [s] = [x for x in suggest_annotations(profiler, module)
+               if x.function == "classify"]
+        assert s.policy == "cache_indexed"
+
+
+class TestEndToEnd:
+    def test_suggested_annotation_produces_speedup(self):
+        module, profiler, expected, (v, ws) = profiled_run()
+        suggestions = [
+            s for s in suggest_annotations(profiler, module)
+            if s.function == "dot"
+        ]
+        annotated = annotate_module(module, suggestions,
+                                    static_loads=True)
+
+        mem = Memory()
+        v2 = mem.alloc_array([0.0, 1.0, 0.0, 2.0, 0.0, 1.0, 0.0, 0.0])
+        ws2 = mem.alloc_array([float(i % 7) for i in range(32)])
+        compiled = compile_annotated(annotated)
+        machine, runtime = compiled.make_machine(memory=mem)
+        actual = machine.run("main", v2, ws2, 8, 20)
+        assert actual == expected
+
+        # And it is *faster* than the unannotated static program once
+        # compilation amortizes: compare steady-state dot cycles.
+        static_machine = Machine(compile_static(module),
+                                 tracked={"dot"})
+        static_machine.memory = mem
+        static_machine.run("main", v2, ws2, 8, 20)
+        dyn_machine, _ = compiled.make_machine(memory=mem,
+                                               tracked={"dot"})
+        dyn_machine.run("main", v2, ws2, 8, 20)
+        assert (dyn_machine.stats.scope_cycles["dot"]
+                < static_machine.stats.scope_cycles["dot"])
+
+    def test_annotate_module_leaves_original_untouched(self):
+        module, profiler, _, _ = profiled_run()
+        suggestions = suggest_annotations(profiler, module)
+        annotated = annotate_module(module, suggestions)
+        from repro.ir import MakeStatic
+        original_has = any(
+            isinstance(i, MakeStatic)
+            for _, _, i in module.function("dot").instructions()
+        )
+        annotated_has = any(
+            isinstance(i, MakeStatic)
+            for _, _, i in annotated.function("dot").instructions()
+        )
+        assert not original_has and annotated_has

@@ -1,0 +1,163 @@
+"""Advanced BTA/region shapes: multiple exits, in-region returns,
+division merging, and host-rewrite integrity."""
+
+import pytest
+
+from repro.config import ALL_ON
+from repro.dyc import compile_annotated, compile_static
+from repro.frontend import compile_source
+from repro.ir import EnterRegion, Memory, verify_function
+from repro.machine import Machine
+
+
+def run_pair(src, fn, *args, memory_builder=None):
+    module = compile_source(src)
+    mem_s = Memory()
+    extra_s = memory_builder(mem_s) if memory_builder else ()
+    static_machine = Machine(compile_static(module), memory=mem_s)
+    expected = static_machine.run(fn, *args, *extra_s)
+
+    compiled = compile_annotated(module, ALL_ON)
+    mem_d = Memory()
+    extra_d = memory_builder(mem_d) if memory_builder else ()
+    machine, runtime = compiled.make_machine(memory=mem_d)
+    actual = machine.run(fn, *args, *extra_d)
+    return expected, actual, compiled, runtime
+
+
+class TestMultipleExits:
+    SRC = """
+    func f(x, n) {
+        make_static(n);
+        var y = n * 2;
+        if (x > y) {
+            var a = x - y;
+            return a * 10;
+        }
+        var b = x + y;
+        return b + 1;
+    }
+    """
+
+    def test_both_exits_correct(self):
+        for x in (100, 1):
+            expected, actual, _, _ = run_pair(self.SRC, "f", x, 3)
+            assert actual == expected
+
+    def test_region_returns_directly(self):
+        # Returns inside the region are emitted as host-level returns.
+        expected, actual, compiled, _ = run_pair(self.SRC, "f", 100, 3)
+        assert actual == expected == 940
+
+
+class TestHostRewrite:
+    def test_enter_region_in_host(self):
+        src = "func f(x, n) { make_static(n); return x + n * n; }"
+        module = compile_source(src)
+        compiled = compile_annotated(module)
+        host = compiled.module.function("f")
+        dispatches = [
+            i for _, _, i in host.instructions()
+            if isinstance(i, EnterRegion)
+        ]
+        assert len(dispatches) == 1
+        assert dispatches[0].keys == ("n",)
+        verify_function(host)
+
+    def test_host_keeps_bypass_path(self):
+        # Conditional annotation: the unannotated path's blocks must
+        # survive the rewrite.
+        src = """
+        func f(x, n) {
+            if (n < 10) { make_static(n); }
+            return x * n;
+        }
+        """
+        module = compile_source(src)
+        compiled = compile_annotated(module)
+        host = compiled.module.function("f")
+        verify_function(host)
+        machine, _ = compiled.make_machine()
+        assert machine.run("f", 3, 4) == 12    # specialized path
+        assert machine.run("f", 3, 40) == 120  # bypass path
+
+    def test_exits_listed_on_dispatch(self):
+        src = """
+        func f(x, n) {
+            make_static(n);
+            var y = x * n;
+            var z = y + x;
+            return z;
+        }
+        """
+        module = compile_source(src)
+        compiled = compile_annotated(module)
+        region = compiled.regions[0]
+        host = compiled.module.function("f")
+        dispatch = next(
+            i for _, _, i in host.instructions()
+            if isinstance(i, EnterRegion)
+        )
+        assert dispatch.exits == region.exits
+        for exit_label in dispatch.exits:
+            assert exit_label in host.blocks
+
+
+class TestMakeDynamicRegions:
+    def test_two_sequential_regions(self):
+        src = """
+        func f(x, a, b) {
+            make_static(a);
+            var r1 = a * x;
+            make_dynamic(a);
+            x = r1 + x;
+            make_static(b);
+            var r2 = b * x;
+            return r2 + r1;
+        }
+        """
+        expected, actual, compiled, runtime = run_pair(
+            src, "f", 5, 3, 4
+        )
+        assert actual == expected
+        # Two independent regions, each dispatched once.
+        assert len(compiled.regions) == 2
+        assert all(
+            stats.dispatches == 1
+            for stats in runtime.stats.regions.values()
+        )
+
+    def test_region_ids_unique_across_functions(self):
+        src = """
+        func g(y, m) { make_static(m); return y * m; }
+        func h(y, m) { make_static(m); return y + m; }
+        func f(x) { return g(x, 2) + h(x, 3); }
+        """
+        module = compile_source(src)
+        compiled = compile_annotated(module)
+        assert sorted(compiled.regions) == [0, 1]
+        machine, _ = compiled.make_machine()
+        assert machine.run("f", 10) == 20 + 13
+
+
+class TestStaticBranchExits:
+    def test_statically_chosen_exit(self):
+        # A static branch picks the exit at specialize time; only one
+        # arm is ever emitted.
+        src = """
+        func f(x, n) {
+            make_static(n);
+            if (n > 5) {
+                return x + 1;
+            }
+            return x - 1;
+        }
+        """
+        module = compile_source(src)
+        compiled = compile_annotated(module)
+        machine, runtime = compiled.make_machine()
+        assert machine.run("f", 10, 9) == 11
+        assert machine.run("f", 10, 2) == 9
+        stats = runtime.stats.regions[0]
+        assert stats.specializations == 2
+        assert stats.static_branches_folded >= 2

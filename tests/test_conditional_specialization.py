@@ -1,0 +1,83 @@
+"""Conditional specialization (§2.2.5).
+
+"Rather than unconditionally executing an annotation, the programmer
+guards the annotation with an arbitrary test of whether specialization
+is desirable.  Polyvariant division will then automatically duplicate
+the code following the test statement, one copy being specialized and
+the other not."  Use cases named by the paper: specialize only values
+that optimize well, only frequent values, or only loops that fit the
+I-cache when unrolled.
+"""
+
+import pytest
+
+from repro.config import ALL_ON
+from repro.dyc import compile_annotated, compile_static
+from repro.frontend import compile_source
+from repro.ir import Memory
+from repro.machine import Machine
+
+#: Specialize (and completely unroll) only when the loop is short.
+SRC = """
+func weighted_sum(arr, n, x) {
+    if (n <= 8) {
+        make_static(n, i);
+    }
+    var s = 0;
+    for (i = 0; i < n; i = i + 1) {
+        s = s + arr[i] * x;
+    }
+    return s;
+}
+"""
+
+
+def build(n):
+    module = compile_source(SRC)
+    static_machine = Machine(compile_static(module))
+    compiled = compile_annotated(module)
+    mem = Memory()
+    arr = mem.alloc_array(list(range(1, 40)))
+    machine, runtime = compiled.make_machine(memory=mem)
+    static_mem = Memory()
+    static_arr = static_mem.alloc_array(list(range(1, 40)))
+    static_machine.memory = static_mem
+    return (static_machine, static_arr), (machine, arr, runtime)
+
+
+class TestConditionalSpecialization:
+    def test_small_n_specializes(self):
+        (sm, sarr), (dm, darr, runtime) = build(4)
+        assert dm.run("weighted_sum", darr, 4, 3) == \
+            sm.run("weighted_sum", sarr, 4, 3)
+        stats = runtime.stats.regions[0]
+        assert stats.dispatches == 1
+        assert stats.specializations == 1
+        assert stats.unrolling == "SW"
+
+    def test_large_n_bypasses_specialization(self):
+        (sm, sarr), (dm, darr, runtime) = build(30)
+        assert dm.run("weighted_sum", darr, 30, 3) == \
+            sm.run("weighted_sum", sarr, 30, 3)
+        # The guard kept dynamic compilation out of the picture: the
+        # unspecialized copy ran, no dispatch happened at all.
+        assert 0 not in runtime.stats.regions or \
+            runtime.stats.regions[0].dispatches == 0
+
+    def test_mixed_usage(self):
+        (sm, sarr), (dm, darr, runtime) = build(0)
+        for n in (3, 30, 5, 30, 3):
+            assert dm.run("weighted_sum", darr, n, 2) == \
+                sm.run("weighted_sum", sarr, n, 2)
+        stats = runtime.stats.regions[0]
+        assert stats.dispatches == 3          # only the small-n calls
+        assert stats.specializations == 2     # n=3 and n=5
+
+    def test_icache_guard_idiom(self):
+        # The paper's third use case: guard so that the unrolled loop
+        # fits the I-cache.  Emitted footprint for n<=8 stays tiny.
+        (_, _), (dm, darr, runtime) = build(0)
+        dm.run("weighted_sum", darr, 8, 2)
+        cache = runtime.entry_caches[0]
+        code = next(iter(cache.items()))[1]
+        assert code.footprint < 128

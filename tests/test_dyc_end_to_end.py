@@ -1,0 +1,660 @@
+"""End-to-end tests: MiniC → DyC compile → specialize → execute.
+
+Every test checks *semantic equivalence* between the statically compiled
+baseline and the dynamically compiled program, plus the specific staged
+optimization behaviour under test.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ALL_ON, ALL_OFF, OptConfig
+from repro.dyc import compile_annotated, compile_static
+from repro.frontend import compile_source
+from repro.ir import Memory
+from repro.machine import Machine
+
+
+def run_static(src: str, func: str, *args, memory=None):
+    module = compile_static(compile_source(src))
+    machine = Machine(module, memory=memory)
+    return machine.run(func, *args), machine
+
+
+def run_dynamic(src: str, func: str, *args, memory=None,
+                config: OptConfig = ALL_ON, calls: int = 1):
+    compiled = compile_annotated(compile_source(src), config)
+    machine, runtime = compiled.make_machine(memory=memory)
+    result = None
+    for _ in range(calls):
+        result = machine.run(func, *args)
+    return result, machine, runtime
+
+
+DOT_SRC = """
+func dot(v, w, n) {
+    make_static(v, n, i);
+    var s = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+        s = s + v@[i] * w[i];
+    }
+    return s;
+}
+"""
+
+
+def dot_memory():
+    mem = Memory()
+    v = mem.alloc_array([0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 1.0, 0.0])
+    w = mem.alloc_array([float(i + 1) for i in range(8)])
+    return mem, v, w
+
+
+class TestBasicRegions:
+    SRC = "func f(x, n) { make_static(n); var y = n * 2 + 1; return x + y; }"
+
+    def test_results_match_static(self):
+        expected, _ = run_static(self.SRC, "f", 10, 3)
+        result, _, _ = run_dynamic(self.SRC, "f", 10, 3)
+        assert result == expected == 17
+
+    def test_specialized_code_cached_and_reused(self):
+        result, machine, runtime = run_dynamic(self.SRC, "f", 10, 3,
+                                               calls=3)
+        stats = runtime.stats.regions[0]
+        assert stats.dispatches == 3
+        assert stats.specializations == 1  # hit, hit after first miss
+
+    def test_different_key_respecializes(self):
+        compiled = compile_annotated(compile_source(self.SRC))
+        machine, runtime = compiled.make_machine()
+        assert machine.run("f", 10, 3) == 17
+        assert machine.run("f", 10, 5) == 21
+        assert machine.run("f", 10, 3) == 17
+        stats = runtime.stats.regions[0]
+        assert stats.specializations == 2
+        assert stats.dispatches == 3
+
+    def test_dynamic_region_is_faster_asymptotically(self):
+        # Needs a region big enough to amortize the dispatch: a loop over
+        # a static bound (the paper's kernels are this shape).
+        src = """
+        func f(x, n) {
+            make_static(n, i) : cache_one_unchecked;
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) { s = s + x * i; }
+            return s;
+        }
+        """
+        _, static_machine = run_static(src, "f", 10, 20)
+        compiled = compile_annotated(compile_source(src))
+        machine, _ = compiled.make_machine()
+        machine.run("f", 10, 20)            # pay specialization
+        before = machine.stats.cycles
+        assert machine.run("f", 10, 20) == sum(10 * i for i in range(20))
+        dyn_cycles = machine.stats.cycles - before
+        assert dyn_cycles < static_machine.stats.cycles
+
+    def test_return_value_with_fully_static_result(self):
+        src = "func f(n) { make_static(n); return n * n; }"
+        result, _, _ = run_dynamic(src, "f", 7)
+        assert result == 49
+
+
+class TestCompleteLoopUnrolling:
+    def test_unrolled_dot_product_matches(self):
+        mem, v, w = dot_memory()
+        expected, _ = run_static(DOT_SRC, "dot", v, w, 8, memory=mem)
+        mem2, v2, w2 = dot_memory()
+        result, _, runtime = run_dynamic(DOT_SRC, "dot", v2, w2, 8,
+                                         memory=mem2)
+        assert result == expected
+        assert runtime.stats.regions[0].unrolling == "SW"
+
+    def test_no_branches_in_unrolled_code(self):
+        from repro.ir.instructions import Branch
+        mem, v, w = dot_memory()
+        _, _, runtime = run_dynamic(DOT_SRC, "dot", v, w, 8, memory=mem)
+        code = list(runtime.entry_caches[0].items())[0][1]
+        for block in code.function.blocks.values():
+            assert not isinstance(block.instrs[-1], Branch)
+
+    def test_unrolling_ablation_keeps_loop(self):
+        mem, v, w = dot_memory()
+        config = ALL_ON.without("complete_loop_unrolling")
+        result, _, runtime = run_dynamic(DOT_SRC, "dot", v, w, 8,
+                                         memory=mem, config=config)
+        mem2, v2, w2 = dot_memory()
+        expected, _ = run_static(DOT_SRC, "dot", v2, w2, 8, memory=mem2)
+        assert result == expected
+        assert runtime.stats.regions[0].unrolling is None
+
+    def test_unrolling_generates_more_instructions(self):
+        mem, v, w = dot_memory()
+        _, _, with_unroll = run_dynamic(DOT_SRC, "dot", v, w, 8,
+                                        memory=mem)
+        mem2, v2, w2 = dot_memory()
+        _, _, without = run_dynamic(
+            DOT_SRC, "dot", v2, w2, 8, memory=mem2,
+            config=ALL_ON.without("complete_loop_unrolling"),
+        )
+        assert (with_unroll.stats.regions[0].instructions_generated
+                > without.stats.regions[0].instructions_generated)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.sampled_from([0.0, 1.0, 2.0, 0.5]),
+                    min_size=1, max_size=12))
+    def test_unrolled_semantics_any_vector(self, vector):
+        mem = Memory()
+        v = mem.alloc_array(vector)
+        w = mem.alloc_array([float(i) for i in range(len(vector))])
+        expected = sum(a * b for a, b in
+                       zip(vector, (float(i) for i in range(len(vector)))))
+        result, _, _ = run_dynamic(DOT_SRC, "dot", v, w, len(vector),
+                                   memory=mem)
+        assert result == pytest.approx(expected)
+
+
+class TestStaticLoadsAndCalls:
+    def test_static_loads_fold(self):
+        mem, v, w = dot_memory()
+        _, _, runtime = run_dynamic(DOT_SRC, "dot", v, w, 8, memory=mem)
+        assert runtime.stats.regions[0].static_loads_folded == 8
+
+    def test_static_loads_ablation_emits_loads(self):
+        from repro.ir.instructions import Load
+        mem, v, w = dot_memory()
+        _, _, runtime = run_dynamic(
+            DOT_SRC, "dot", v, w, 8, memory=mem,
+            config=ALL_ON.without("static_loads"),
+        )
+        stats = runtime.stats.regions[0]
+        assert stats.static_loads_folded == 0
+        code = list(runtime.entry_caches[0].items())[0][1]
+        loads = [
+            i for b in code.function.blocks.values() for i in b.instrs
+            if isinstance(i, Load)
+        ]
+        assert len(loads) >= 8  # the v loads now appear in emitted code
+
+    CHEB_SRC = """
+    func approx(n, x) {
+        make_static(n, k);
+        var s = 0.0;
+        for (k = 0; k < n; k = k + 1) {
+            s = s + cos(3.14159 * k / n) * x;
+        }
+        return s;
+    }
+    """
+
+    def test_static_calls_memoized(self):
+        result, _, runtime = run_dynamic(self.CHEB_SRC, "approx", 4, 2.0)
+        expected, _ = run_static(self.CHEB_SRC, "approx", 4, 2.0)
+        assert result == pytest.approx(expected)
+        assert runtime.stats.regions[0].static_calls_folded == 4
+
+    def test_static_calls_ablation(self):
+        result, _, runtime = run_dynamic(
+            self.CHEB_SRC, "approx", 4, 2.0,
+            config=ALL_ON.without("static_calls"),
+        )
+        expected, _ = run_static(self.CHEB_SRC, "approx", 4, 2.0)
+        assert result == pytest.approx(expected)
+        assert runtime.stats.regions[0].static_calls_folded == 0
+
+    def test_pure_user_function_static_call(self):
+        src = """
+        pure func sq(x) { return x * x; }
+        func f(n, y) { make_static(n); return sq(n) + y; }
+        """
+        result, _, runtime = run_dynamic(src, "f", 5, 1)
+        assert result == 26
+        assert runtime.stats.regions[0].static_calls_folded == 1
+
+
+class TestZcpAndDae:
+    def test_zero_iterations_fully_eliminated(self):
+        mem, v, w = dot_memory()
+        _, _, runtime = run_dynamic(DOT_SRC, "dot", v, w, 8, memory=mem)
+        stats = runtime.stats.regions[0]
+        assert stats.zcp_zero_hits >= 4   # the 0.0 weights
+        assert stats.zcp_copy_hits >= 2   # the 1.0 weights
+        assert stats.dae_removed > 0      # dead loads removed
+
+    def test_zcp_ablation_changes_nothing_semantically(self):
+        mem, v, w = dot_memory()
+        expected, _ = run_static(DOT_SRC, "dot", v, w, 8, memory=mem)
+        mem2, v2, w2 = dot_memory()
+        result, _, runtime = run_dynamic(
+            DOT_SRC, "dot", v2, w2, 8, memory=mem2,
+            config=ALL_ON.without("zero_copy_propagation"),
+        )
+        assert result == expected
+        assert runtime.stats.regions[0].zcp_zero_hits == 0
+        assert runtime.stats.regions[0].zcp_copy_hits == 0
+
+    def test_dae_ablation_keeps_moves(self):
+        mem, v, w = dot_memory()
+        _, _, with_dae = run_dynamic(DOT_SRC, "dot", v, w, 8, memory=mem)
+        mem2, v2, w2 = dot_memory()
+        result, _, without = run_dynamic(
+            DOT_SRC, "dot", v2, w2, 8, memory=mem2,
+            config=ALL_ON.without("dead_assignment_elimination"),
+        )
+        mem3, v3, w3 = dot_memory()
+        expected, _ = run_static(DOT_SRC, "dot", v3, w3, 8, memory=mem3)
+        assert result == expected
+        assert (without.stats.regions[0].instructions_generated
+                > with_dae.stats.regions[0].instructions_generated)
+        assert without.stats.regions[0].dae_removed == 0
+
+    def test_dyn_code_with_zcp_dae_is_smaller_and_faster(self):
+        mem, v, w = dot_memory()
+        compiled = compile_annotated(compile_source(DOT_SRC))
+        machine, runtime = compiled.make_machine(memory=mem)
+        machine.run("dot", v, w, 8)
+        before = machine.stats.cycles
+        machine.run("dot", v, w, 8)
+        fast = machine.stats.cycles - before
+
+        mem2, v2, w2 = dot_memory()
+        compiled2 = compile_annotated(
+            compile_source(DOT_SRC),
+            ALL_ON.without("zero_copy_propagation",
+                           "dead_assignment_elimination"),
+        )
+        machine2, _ = compiled2.make_machine(memory=mem2)
+        machine2.run("dot", v2, w2, 8)
+        before = machine2.stats.cycles
+        machine2.run("dot", v2, w2, 8)
+        slow = machine2.stats.cycles - before
+        assert fast < slow
+
+
+class TestStrengthReduction:
+    SRC = """
+    func addr(x, bsize) {
+        make_static(bsize);
+        var block = x / bsize;
+        var offset = x % bsize;
+        var scaled = x * bsize;
+        return block + offset + scaled;
+    }
+    """
+
+    def test_power_of_two_reduced(self):
+        from repro.ir.instructions import BinOp, Op
+        result, _, runtime = run_dynamic(self.SRC, "addr", 100, 32)
+        expected, _ = run_static(self.SRC, "addr", 100, 32)
+        assert result == expected
+        stats = runtime.stats.regions[0]
+        assert stats.sr_applied == 3
+        code = list(runtime.entry_caches[0].items())[0][1]
+        ops = [
+            i.op for b in code.function.blocks.values() for i in b.instrs
+            if isinstance(i, BinOp)
+        ]
+        assert Op.SHR in ops and Op.AND in ops and Op.SHL in ops
+        assert Op.DIV not in ops and Op.MOD not in ops and Op.MUL not in ops
+
+    def test_non_power_of_two_not_reduced(self):
+        # 43 is not 2^a ± 2^b, so neither the shift nor the two-term
+        # decomposition applies; div/mod by 43 are not reducible either.
+        result, _, runtime = run_dynamic(self.SRC, "addr", 100, 43)
+        expected, _ = run_static(self.SRC, "addr", 100, 43)
+        assert result == expected
+        assert runtime.stats.regions[0].sr_applied == 0
+
+    def test_two_term_multiplier_decomposed(self):
+        from repro.ir.instructions import BinOp, Op
+        result, _, runtime = run_dynamic(self.SRC, "addr", 100, 33)
+        expected, _ = run_static(self.SRC, "addr", 100, 33)
+        assert result == expected
+        # x * 33 becomes (x << 5) + x in the emitted code.
+        assert runtime.stats.regions[0].sr_applied == 1
+
+    def test_sr_ablation(self):
+        result, _, runtime = run_dynamic(
+            self.SRC, "addr", 100, 32,
+            config=ALL_ON.without("strength_reduction"),
+        )
+        expected, _ = run_static(self.SRC, "addr", 100, 32)
+        assert result == expected
+        assert runtime.stats.regions[0].sr_applied == 0
+
+    def test_sr_is_faster(self):
+        def cycles_with(config):
+            compiled = compile_annotated(compile_source(self.SRC), config)
+            machine, _ = compiled.make_machine()
+            machine.run("addr", 100, 32)
+            before = machine.stats.cycles
+            machine.run("addr", 100, 32)
+            return machine.stats.cycles - before
+
+        assert cycles_with(ALL_ON) < cycles_with(
+            ALL_ON.without("strength_reduction")
+        )
+
+
+class TestInternalPromotions:
+    SRC = """
+    func f(x, n) {
+        make_static(n);
+        var a = n * 2;
+        n = x + 1;
+        var b = n * 3;
+        return a + b;
+    }
+    """
+
+    def test_promotion_resumes_specialization(self):
+        result, _, runtime = run_dynamic(self.SRC, "f", 10, 4)
+        expected, _ = run_static(self.SRC, "f", 10, 4)
+        assert result == expected == 41
+        stats = runtime.stats.regions[0]
+        assert stats.internal_promotion_points >= 1
+        assert stats.internal_promotions_executed >= 1
+
+    def test_promotion_continuations_cached(self):
+        compiled = compile_annotated(compile_source(self.SRC))
+        machine, runtime = compiled.make_machine()
+        assert machine.run("f", 10, 4) == 41
+        assert machine.run("f", 10, 4) == 41   # same promoted value: hit
+        assert machine.run("f", 20, 4) == 71   # new promoted value: miss
+        assert machine.run("f", 20, 4) == 71
+        stats = runtime.stats.regions[0]
+        assert stats.internal_promotions_executed == 4
+
+    def test_promotions_ablation_demotes(self):
+        result, _, runtime = run_dynamic(
+            self.SRC, "f", 10, 4,
+            config=ALL_ON.without("internal_promotions"),
+        )
+        assert result == 41
+        assert runtime.stats.regions[0].internal_promotion_points == 0
+
+
+class TestPolyvariantDivision:
+    SRC = """
+    func f(x, n, v) {
+        make_static(n);
+        if (x > 0) {
+            make_static(v);
+        }
+        var r = v * n;
+        return r + x;
+    }
+    """
+
+    def test_both_paths_correct(self):
+        for x in (5, -5):
+            expected, _ = run_static(self.SRC, "f", x, 3, 7)
+            result, _, _ = run_dynamic(self.SRC, "f", x, 3, 7)
+            assert result == expected
+
+    def test_division_tracked(self):
+        compiled = compile_annotated(compile_source(self.SRC))
+        machine, runtime = compiled.make_machine()
+        machine.run("f", 5, 3, 7)
+        machine.run("f", -5, 3, 7)
+        assert runtime.stats.regions[0].used_polyvariant_division
+
+    def test_division_ablation_still_correct(self):
+        config = ALL_ON.without("polyvariant_division")
+        for x in (5, -5):
+            expected, _ = run_static(self.SRC, "f", x, 3, 7)
+            result, _, _ = run_dynamic(self.SRC, "f", x, 3, 7,
+                                       config=config)
+            assert result == expected
+
+
+class TestDispatchPolicies:
+    SRC_UNCHECKED = """
+    func f(x, n) {
+        make_static(n) : cache_one_unchecked;
+        return x * n;
+    }
+    """
+
+    def test_unchecked_dispatch_cheap(self):
+        compiled = compile_annotated(compile_source(self.SRC_UNCHECKED))
+        machine, runtime = compiled.make_machine()
+        machine.run("f", 1, 3)
+        machine.run("f", 2, 3)
+        stats = runtime.stats.regions[0]
+        assert stats.unchecked_dispatches == 2
+        # Second dispatch cost ~10 cycles.
+        assert stats.dispatch_cycles / stats.dispatches < 60
+
+    def test_unchecked_is_unsafe_when_key_changes(self):
+        # The hallmark hazard: a changed value silently reuses stale code.
+        compiled = compile_annotated(compile_source(self.SRC_UNCHECKED))
+        machine, _ = compiled.make_machine()
+        assert machine.run("f", 10, 3) == 30
+        assert machine.run("f", 10, 4) == 30  # stale! specialized for n=3
+
+    def test_strict_mode_catches_unsafe_annotation(self):
+        from repro.errors import CacheError
+        config = OptConfig(check_annotations=True)
+        compiled = compile_annotated(
+            compile_source(self.SRC_UNCHECKED), config
+        )
+        machine, _ = compiled.make_machine()
+        machine.run("f", 10, 3)
+        with pytest.raises(CacheError):
+            machine.run("f", 10, 4)
+
+    def test_unchecked_ablation_forces_hash_dispatch(self):
+        compiled = compile_annotated(
+            compile_source(self.SRC_UNCHECKED),
+            ALL_ON.without("unchecked_dispatching"),
+        )
+        machine, runtime = compiled.make_machine()
+        assert machine.run("f", 10, 3) == 30
+        assert machine.run("f", 10, 4) == 40  # correct now (cache-all)
+        stats = runtime.stats.regions[0]
+        assert stats.unchecked_dispatches == 0
+        assert stats.dispatch_cycles / stats.dispatches > 60
+
+    def test_cache_all_dispatch_cost_about_90_cycles(self):
+        src = "func f(x, n) { make_static(n); return x * n; }"
+        compiled = compile_annotated(compile_source(src))
+        machine, runtime = compiled.make_machine()
+        for _ in range(10):
+            machine.run("f", 1, 3)
+        stats = runtime.stats.regions[0]
+        average = stats.dispatch_cycles / stats.dispatches
+        assert 60 <= average <= 130
+
+
+class TestMultiWayUnrolling:
+    """A bytecode-interpreter shape: multi-way unrolling over a static
+    program, like mipsi (§2.2.4's directed graph of unrolled bodies)."""
+
+    # opcodes: 0=halt, 1=acc+=operand, 2=acc-=operand,
+    #          3=jump-if-acc-positive to operand, 4=jump to operand
+    SRC = """
+    func interp(prog, acc) {
+        make_static(prog, pc);
+        var pc = 0;
+        var running = 1;
+        while (running) {
+            var op = prog@[pc * 2];
+            var arg = prog@[pc * 2 + 1];
+            if (op == 0) { running = 0; }
+            else { if (op == 1) { acc = acc + arg; pc = pc + 1; }
+            else { if (op == 2) { acc = acc - arg; pc = pc + 1; }
+            else { if (op == 3) {
+                if (acc > 0) { pc = arg; } else { pc = pc + 1; }
+            }
+            else { pc = arg; } } } }
+        }
+        return acc;
+    }
+    """
+
+    @staticmethod
+    def _program(mem):
+        # acc -= 3 repeatedly until acc <= 0 (a loop in the interpreted
+        # program), then add 100 and halt.
+        return mem.alloc_array([
+            2, 3,    # 0: acc -= 3
+            3, 0,    # 1: if acc > 0 goto 0
+            1, 100,  # 2: acc += 100
+            0, 0,    # 3: halt
+        ])
+
+    def _interp(self, acc):
+        while True:
+            if acc > 0:
+                acc -= 3
+                continue
+            acc -= 3 if False else 0  # pragma: no cover
+        return acc
+
+    def test_interpreter_specialized_correctly(self):
+        mem = Memory()
+        prog = self._program(mem)
+        expected, _ = run_static(self.SRC, "interp", prog, 10,
+                                 memory=mem)
+        mem2 = Memory()
+        prog2 = self._program(mem2)
+        result, _, runtime = run_dynamic(self.SRC, "interp", prog2, 10,
+                                         memory=mem2)
+        assert result == expected
+        assert runtime.stats.regions[0].unrolling == "MW"
+
+    def test_emitted_code_contains_loop_back_edge(self):
+        mem = Memory()
+        prog = self._program(mem)
+        _, _, runtime = run_dynamic(self.SRC, "interp", prog, 10,
+                                    memory=mem)
+        code = list(runtime.entry_caches[0].items())[0][1]
+        labels = set(code.function.blocks)
+        # Some block branches back to an already-emitted block (the
+        # compiled loop of the interpreted program).
+        ordered = list(code.function.blocks)
+        position = {label: i for i, label in enumerate(ordered)}
+        has_back_edge = any(
+            position[succ] <= position[label]
+            for label in ordered
+            for succ in code.function.blocks[label].successors()
+            if succ in labels
+        )
+        assert has_back_edge
+
+    def test_various_inputs(self):
+        for acc in (0, 1, 7, 30):
+            mem = Memory()
+            prog = self._program(mem)
+            expected, _ = run_static(self.SRC, "interp", prog, acc,
+                                     memory=mem)
+            mem2 = Memory()
+            prog2 = self._program(mem2)
+            result, _, _ = run_dynamic(self.SRC, "interp", prog2, acc,
+                                       memory=mem2)
+            assert result == expected
+
+
+class TestEverythingOff:
+    def test_all_off_still_correct(self):
+        mem, v, w = dot_memory()
+        expected, _ = run_static(DOT_SRC, "dot", v, w, 8, memory=mem)
+        mem2, v2, w2 = dot_memory()
+        result, _, _ = run_dynamic(DOT_SRC, "dot", v2, w2, 8,
+                                   memory=mem2, config=ALL_OFF)
+        assert result == expected
+
+    @pytest.mark.parametrize("ablation", [
+        "complete_loop_unrolling", "static_loads",
+        "unchecked_dispatching", "static_calls",
+        "zero_copy_propagation", "dead_assignment_elimination",
+        "strength_reduction", "internal_promotions",
+        "polyvariant_division",
+    ])
+    def test_each_single_ablation_preserves_semantics(self, ablation):
+        mem, v, w = dot_memory()
+        expected, _ = run_static(DOT_SRC, "dot", v, w, 8, memory=mem)
+        mem2, v2, w2 = dot_memory()
+        result, _, _ = run_dynamic(DOT_SRC, "dot", v2, w2, 8,
+                                   memory=mem2,
+                                   config=ALL_ON.without(ablation))
+        assert result == expected
+
+
+class TestRegionShapes:
+    def test_region_with_host_code_after_exit(self):
+        src = """
+        func f(x, n) {
+            make_static(n);
+            var y = n + x;
+            var z = y * 2;
+            return z + 1;
+        }
+        """
+        expected, _ = run_static(src, "f", 3, 4)
+        result, _, _ = run_dynamic(src, "f", 3, 4)
+        assert result == expected == 15
+
+    def test_store_inside_region(self):
+        src = """
+        func fill(arr, n) {
+            make_static(n, i);
+            for (i = 0; i < n; i = i + 1) { arr[i] = i * i; }
+            return 0;
+        }
+        """
+        mem = Memory()
+        arr = mem.alloc(5)
+        run_dynamic(src, "fill", arr, 5, memory=mem)
+        assert mem.read_array(arr, 5) == [0, 1, 4, 9, 16]
+
+    def test_nested_static_loops(self):
+        src = """
+        func grid(rows, cols, out) {
+            make_static(rows, cols, r, c);
+            var k = 0;
+            for (r = 0; r < rows; r = r + 1) {
+                for (c = 0; c < cols; c = c + 1) {
+                    out[k] = r * 10 + c;
+                    k = k + 1;
+                }
+            }
+            return k;
+        }
+        """
+        mem = Memory()
+        out = mem.alloc(6)
+        result, _, runtime = run_dynamic(src, "grid", 2, 3, out,
+                                         memory=mem)
+        assert result == 6
+        assert mem.read_array(out, 6) == [0, 1, 2, 10, 11, 12]
+        assert runtime.stats.regions[0].unrolling == "SW"
+
+    def test_two_regions_one_program(self):
+        src = """
+        func g(y, m) { make_static(m); return y * m; }
+        func f(x, n) { make_static(n); return x + n; }
+        func main(a) { return f(a, 2) + g(a, 3); }
+        """
+        compiled = compile_annotated(compile_source(src))
+        machine, runtime = compiled.make_machine()
+        assert machine.run("main", 5) == 7 + 15
+        assert len(runtime.stats.regions) == 2
+
+    def test_region_called_in_loop_dispatches_each_time(self):
+        src = """
+        func f(x, n) { make_static(n); return x * n; }
+        func main(k) {
+            var s = 0;
+            for (i = 0; i < k; i = i + 1) { s = s + f(i, 3); }
+            return s;
+        }
+        """
+        compiled = compile_annotated(compile_source(src))
+        machine, runtime = compiled.make_machine()
+        assert machine.run("main", 5) == 3 * (0 + 1 + 2 + 3 + 4)
+        stats = runtime.stats.regions[0]
+        assert stats.dispatches == 5
+        assert stats.specializations == 1

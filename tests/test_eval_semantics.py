@@ -1,0 +1,124 @@
+"""Semantics of the shared operator evaluator, incl. property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TrapError
+from repro.ir.eval import (
+    eval_binop,
+    eval_unop,
+    fits_immediate,
+    is_power_of_two,
+    log2_exact,
+)
+from repro.ir.instructions import Op
+
+ints = st.integers(min_value=-10**6, max_value=10**6)
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestCSemantics:
+    @pytest.mark.parametrize("lhs,rhs,expected", [
+        (7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3),
+    ])
+    def test_int_division_truncates_toward_zero(self, lhs, rhs, expected):
+        assert eval_binop(Op.DIV, lhs, rhs) == expected
+
+    @pytest.mark.parametrize("lhs,rhs,expected", [
+        (7, 2, 1), (-7, 2, -1), (7, -2, 1), (-7, -2, -1),
+    ])
+    def test_int_mod_sign_follows_dividend(self, lhs, rhs, expected):
+        assert eval_binop(Op.MOD, lhs, rhs) == expected
+
+    def test_mixed_arithmetic_promotes_to_float(self):
+        assert eval_binop(Op.DIV, 1, 2.0) == 0.5
+        assert isinstance(eval_binop(Op.ADD, 1, 2.0), float)
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(TrapError):
+            eval_binop(Op.DIV, 1, 0)
+        with pytest.raises(TrapError):
+            eval_binop(Op.MOD, 1, 0)
+
+    def test_bitwise_rejects_floats(self):
+        with pytest.raises(TrapError):
+            eval_binop(Op.AND, 1.0, 2)
+        with pytest.raises(TrapError):
+            eval_binop(Op.SHL, 1, 2.0)
+
+    def test_negative_shift_traps(self):
+        with pytest.raises(TrapError):
+            eval_binop(Op.SHL, 1, -1)
+
+    def test_comparisons_yield_0_or_1(self):
+        assert eval_binop(Op.LT, 1, 2) == 1
+        assert eval_binop(Op.GE, 1, 2) == 0
+
+    def test_unops(self):
+        assert eval_unop(Op.NEG, 5) == -5
+        assert eval_unop(Op.NOT, 0) == 1
+        assert eval_unop(Op.NOT, 3) == 0
+
+    def test_unknown_binop_traps(self):
+        with pytest.raises(TrapError):
+            eval_binop(Op.NEG, 1, 2)
+        with pytest.raises(TrapError):
+            eval_unop(Op.ADD, 1)
+
+
+class TestProperties:
+    @given(ints, st.integers(min_value=-1000, max_value=1000).filter(bool))
+    def test_div_mod_reconstruct(self, a, b):
+        q = eval_binop(Op.DIV, a, b)
+        r = eval_binop(Op.MOD, a, b)
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+
+    @given(ints, ints)
+    def test_add_commutes(self, a, b):
+        assert eval_binop(Op.ADD, a, b) == eval_binop(Op.ADD, b, a)
+
+    @given(ints, ints)
+    def test_mul_commutes(self, a, b):
+        assert eval_binop(Op.MUL, a, b) == eval_binop(Op.MUL, b, a)
+
+    @given(ints)
+    def test_shift_equals_power_multiply(self, a):
+        for k in range(4):
+            assert eval_binop(Op.SHL, a, k) == a * (2 ** k)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_shr_matches_div_for_nonnegative(self, a):
+        for k in range(1, 5):
+            assert eval_binop(Op.SHR, a, k) == eval_binop(
+                Op.DIV, a, 2 ** k)
+
+    @given(floats, floats)
+    def test_fmod_matches_math(self, a, b):
+        if b == 0:
+            return
+        assert eval_binop(Op.MOD, a, b) == math.fmod(a, b)
+
+
+class TestStrengthReductionHelpers:
+    def test_power_of_two_detection(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(6)
+        assert not is_power_of_two(4.0)
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_log2_exact_roundtrip(self, k):
+        assert log2_exact(2 ** k) == k
+
+    def test_fits_immediate_alpha_literal(self):
+        assert fits_immediate(0)
+        assert fits_immediate(255)
+        assert not fits_immediate(256)
+        assert not fits_immediate(-1)
+        assert not fits_immediate(3.0)

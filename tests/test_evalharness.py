@@ -1,0 +1,128 @@
+"""Tests for the experiment harness: metrics, runner, table builders."""
+
+import math
+
+import pytest
+
+from repro.config import ALL_ON
+from repro.evalharness.metrics import RegionMetrics, breakeven_point
+from repro.evalharness.runner import (
+    RunResult,
+    VerificationError,
+    run_workload,
+)
+from repro.evalharness.tables import (
+    Table,
+    applicable_ablations,
+    build_table1,
+    render_table,
+)
+from repro.ir import Memory
+from repro.workloads import get_workload
+from repro.workloads.base import Workload, WorkloadInput
+
+
+class TestMetrics:
+    def test_breakeven_definition(self):
+        # o / (s - d): the paper's formula.
+        assert breakeven_point(100.0, 60.0, 400.0) == pytest.approx(10.0)
+
+    def test_breakeven_never_when_not_faster(self):
+        assert math.isinf(breakeven_point(50.0, 60.0, 100.0))
+        assert math.isinf(breakeven_point(50.0, 50.0, 100.0))
+
+    def make(self, **kwargs):
+        defaults = dict(
+            name="w", region_label="w",
+            static_cycles_per_invocation=300.0,
+            dynamic_cycles_per_invocation=100.0,
+            dc_overhead_cycles=1000.0,
+            instructions_generated=50,
+            invocations=10,
+            breakeven_unit="calls",
+            units_per_invocation=4.0,
+        )
+        defaults.update(kwargs)
+        return RegionMetrics(**defaults)
+
+    def test_asymptotic_speedup(self):
+        assert self.make().asymptotic_speedup == pytest.approx(3.0)
+
+    def test_breakeven_units_scale(self):
+        metrics = self.make()
+        assert metrics.breakeven_invocations == pytest.approx(5.0)
+        assert metrics.breakeven_units == pytest.approx(20.0)
+
+    def test_overhead_per_instruction(self):
+        assert self.make().overhead_per_instruction == pytest.approx(20.0)
+        assert self.make(
+            instructions_generated=0
+        ).overhead_per_instruction == 0.0
+
+
+class TestRunner:
+    def test_runner_full_result(self):
+        result = run_workload(get_workload("query"))
+        assert result.static_total_cycles > 0
+        assert result.dynamic_total_cycles > 0
+        assert result.dc_cycles > 0
+        assert 0 < result.region_fraction_of_static <= 1.0
+        assert result.outputs_match
+        metrics = result.region_metrics()
+        assert len(metrics) == 1
+        assert metrics[0].invocations == result.region_entries["match"]
+
+    def test_runner_detects_divergence(self):
+        # A workload whose checksum is deliberately broken must raise.
+        base = get_workload("query")
+        counter = [0]
+
+        def bad_setup(mem: Memory) -> WorkloadInput:
+            inner = base.setup(mem)
+            counter[0] += 1
+            tag = counter[0]  # differs between static and dynamic run
+
+            def checksum(memory, machine):
+                return tag
+
+            return WorkloadInput(args=inner.args, checksum=checksum)
+
+        broken = Workload(
+            name="broken", kind="kernel", description="",
+            static_vars="", static_values="", source=base.source,
+            entry=base.entry, region_functions=base.region_functions,
+            setup=bad_setup,
+        )
+        with pytest.raises(VerificationError):
+            run_workload(broken)
+
+    def test_whole_program_speedup_includes_dc(self):
+        result = run_workload(get_workload("chebyshev"))
+        with_dc = result.whole_program_speedup
+        without_dc = (result.static_total_cycles
+                      / result.dynamic_total_cycles)
+        assert with_dc < without_dc
+
+
+class TestTables:
+    def test_render_alignment(self):
+        table = Table(title="T", headers=["a", "bbbb"],
+                      rows=[["xx", "y"], ["x", "yyyy"]])
+        text = render_table(table)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        # All rows align to the same width.
+        widths = {len(line) for line in lines[2:] if line}
+        assert len(widths) <= 2  # header vs data rows may differ by pad
+
+    def test_table1_builds_without_running(self):
+        table = build_table1()
+        assert len(table.rows) == 10
+
+    def test_applicable_ablations_match_usage(self):
+        result = run_workload(get_workload("chebyshev"))
+        ablations = applicable_ablations(result, "cheb")
+        assert "static_calls" in ablations
+        assert "complete_loop_unrolling" in ablations
+        assert "dead_assignment_elimination" not in ablations
+        assert "polyvariant_division" not in ablations

@@ -1,0 +1,315 @@
+"""Tests for the MiniC lexer, parser, and lowering (with execution checks)."""
+
+import pytest
+
+from repro.errors import LexError, LowerError, ParseError
+from repro.frontend import compile_source, parse_program, tokenize
+from repro.frontend import ast_nodes as ast
+from repro.frontend.tokens import TokenType
+from repro.ir import Call, Load, MakeStatic, Memory, verify_module
+from repro.machine import Machine
+
+
+def run(source: str, func: str, *args, memory: Memory | None = None):
+    module = compile_source(source)
+    machine = Machine(module, memory=memory)
+    return machine.run(func, *args)
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("func f(x) { return x + 1; }")
+        types = [t.type for t in tokens]
+        assert types[0] is TokenType.FUNC
+        assert types[-1] is TokenType.EOF
+
+    def test_numbers(self):
+        tokens = tokenize("12 3.5 1e3 2.5e-2")
+        assert tokens[0].value == 12
+        assert tokens[1].value == 3.5
+        assert tokens[2].value == 1000.0
+        assert tokens[3].value == 0.025
+
+    def test_at_bracket_token(self):
+        tokens = tokenize("a@[i]")
+        assert tokens[1].type is TokenType.AT_LBRACKET
+
+    def test_comments_skipped(self):
+        tokens = tokenize("1 // comment\n /* multi\nline */ 2")
+        values = [t.value for t in tokens if t.value is not None]
+        assert values == [1, 2]
+
+    def test_line_numbers_track_newlines(self):
+        tokens = tokenize("a\nb\n\nc")
+        lines = [t.line for t in tokens if t.type is TokenType.IDENT]
+        assert lines == [1, 2, 4]
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("/* oops")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("a $ b")
+
+    def test_two_char_operators(self):
+        tokens = tokenize("== != <= >= << >> && ||")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.EQ, TokenType.NE, TokenType.LE, TokenType.GE,
+            TokenType.SHL, TokenType.SHR, TokenType.ANDAND, TokenType.OROR,
+        ]
+
+
+class TestParser:
+    def test_function_shape(self):
+        program = parse_program("func add(a, b) { return a + b; }")
+        assert len(program.functions) == 1
+        f = program.functions[0]
+        assert f.name == "add"
+        assert f.params == ("a", "b")
+        assert not f.pure
+
+    def test_pure_function(self):
+        program = parse_program("pure func sq(x) { return x * x; }")
+        assert program.functions[0].pure
+
+    def test_precedence(self):
+        program = parse_program("func f() { return 1 + 2 * 3; }")
+        ret = program.functions[0].body[0]
+        assert isinstance(ret.value, ast.Binary)
+        assert ret.value.op == "+"
+        assert ret.value.rhs.op == "*"
+
+    def test_make_static_with_policy(self):
+        program = parse_program(
+            "func f(x) { make_static(x) : cache_one_unchecked; return x; }"
+        )
+        stmt = program.functions[0].body[0]
+        assert isinstance(stmt, ast.MakeStaticStmt)
+        assert stmt.policy == "cache_one_unchecked"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ParseError, match="cache policy"):
+            parse_program("func f(x) { make_static(x) : bogus; return x; }")
+
+    def test_static_index(self):
+        program = parse_program("func f(p) { return p@[2]; }")
+        ret = program.functions[0].body[0]
+        assert isinstance(ret.value, ast.Index)
+        assert ret.value.static
+
+    def test_else_if_chain(self):
+        src = """
+        func f(x) {
+            if (x == 0) { return 10; }
+            else if (x == 1) { return 20; }
+            else { return 30; }
+        }
+        """
+        program = parse_program(src)
+        top = program.functions[0].body[0]
+        assert isinstance(top.else_body[0], ast.If)
+
+    def test_for_with_empty_clauses(self):
+        program = parse_program("func f() { for (;;) { break; } return 0; }")
+        loop = program.functions[0].body[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_assignment_to_static_load_rejected(self):
+        with pytest.raises(ParseError, match="static"):
+            parse_program("func f(p) { p@[0] = 1; return 0; }")
+
+    def test_missing_semicolon_reports_location(self):
+        with pytest.raises(ParseError, match="line"):
+            parse_program("func f() { return 1 }")
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse_program("func f() { 1 + 2 = 3; return 0; }")
+
+
+class TestLoweringAndExecution:
+    def test_arithmetic(self):
+        assert run("func f(a, b) { return a * b + 2; }", "f", 3, 4) == 14
+
+    def test_if_else(self):
+        src = "func f(x) { if (x > 0) { return 1; } return 0 - 1; }"
+        assert run(src, "f", 5) == 1
+        assert run(src, "f", -5) == -1
+
+    def test_while_loop(self):
+        src = """
+        func sum_to(n) {
+            var s = 0;
+            var i = 1;
+            while (i <= n) { s = s + i; i = i + 1; }
+            return s;
+        }
+        """
+        assert run(src, "sum_to", 100) == 5050
+
+    def test_for_loop_with_break_continue(self):
+        src = """
+        func f(n) {
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) {
+                if (i == 3) { continue; }
+                if (i == 7) { break; }
+                s = s + i;
+            }
+            return s;
+        }
+        """
+        # 0+1+2+4+5+6 = 18
+        assert run(src, "f", 100) == 18
+
+    def test_memory_access(self):
+        src = """
+        func sum(arr, n) {
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) { s = s + arr[i]; }
+            return s;
+        }
+        """
+        mem = Memory()
+        base = mem.alloc_array([5, 6, 7])
+        assert run(src, "sum", base, 3, memory=mem) == 18
+
+    def test_store_statement(self):
+        src = """
+        func fill(arr, n) {
+            for (i = 0; i < n; i = i + 1) { arr[i] = i * i; }
+            return 0;
+        }
+        """
+        mem = Memory()
+        base = mem.alloc(4)
+        run(src, "fill", base, 4, memory=mem)
+        assert mem.read_array(base, 4) == [0, 1, 4, 9]
+
+    def test_short_circuit_and(self):
+        # Division by zero on the rhs must not execute when lhs is false.
+        src = "func f(x, y) { if (x != 0 && 10 / x > y) { return 1; } return 0; }"
+        assert run(src, "f", 0, 1) == 0
+        assert run(src, "f", 5, 1) == 1
+
+    def test_short_circuit_or(self):
+        src = "func f(x) { if (x == 0 || 10 / x > 100) { return 1; } return 0; }"
+        assert run(src, "f", 0) == 1
+        assert run(src, "f", 5) == 0
+
+    def test_nested_function_calls(self):
+        src = """
+        func double(x) { return x * 2; }
+        func f(x) { return double(double(x)) + 1; }
+        """
+        assert run(src, "f", 10) == 41
+
+    def test_recursion(self):
+        src = """
+        func fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        """
+        assert run(src, "fib", 10) == 55
+
+    def test_intrinsic_call_is_marked_pure(self):
+        module = compile_source("func f(x) { return cos(x); }")
+        calls = [
+            i for _, _, i in module.function("f").instructions()
+            if isinstance(i, Call)
+        ]
+        assert calls[0].static
+
+    def test_pure_func_call_marked_static(self):
+        src = """
+        pure func sq(x) { return x * x; }
+        func f(x) { return sq(x); }
+        """
+        module = compile_source(src)
+        calls = [
+            i for _, _, i in module.function("f").instructions()
+            if isinstance(i, Call)
+        ]
+        assert calls[0].static
+
+    def test_impure_func_call_not_static(self):
+        src = """
+        func g(x) { return x; }
+        func f(x) { return g(x); }
+        """
+        module = compile_source(src)
+        calls = [
+            i for _, _, i in module.function("f").instructions()
+            if isinstance(i, Call)
+        ]
+        assert not calls[0].static
+
+    def test_static_load_lowered_with_flag(self):
+        module = compile_source("func f(p) { return p@[1]; }")
+        loads = [
+            i for _, _, i in module.function("f").instructions()
+            if isinstance(i, Load)
+        ]
+        assert loads[0].static
+
+    def test_make_static_lowered(self):
+        module = compile_source(
+            "func f(x) { make_static(x) : cache_one_unchecked; return x; }"
+        )
+        annotations = [
+            i for _, _, i in module.function("f").instructions()
+            if isinstance(i, MakeStatic)
+        ]
+        assert annotations[0].names == ("x",)
+        assert annotations[0].policy == "cache_one_unchecked"
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(LowerError, match="break"):
+            compile_source("func f() { break; return 0; }")
+
+    def test_unreachable_code_discarded(self):
+        module = compile_source(
+            "func f() { return 1; var x = 2; return x; }"
+        )
+        verify_module(module)
+
+    def test_both_arms_return(self):
+        src = "func f(x) { if (x) { return 1; } else { return 2; } }"
+        assert run(src, "f", 1) == 1
+        assert run(src, "f", 0) == 2
+
+    def test_missing_return_yields_zero(self):
+        assert run("func f() { var x = 5; }", "f") == 0
+
+    def test_zero_offset_index_elides_add(self):
+        module = compile_source("func f(p) { return p[0]; }")
+        instrs = [i for _, _, i in module.function("f").instructions()]
+        loads = [i for i in instrs if isinstance(i, Load)]
+        assert len(loads) == 1
+
+    def test_unary_operators(self):
+        assert run("func f(x) { return -x; }", "f", 4) == -4
+        assert run("func f(x) { return !x; }", "f", 4) == 0
+        assert run("func f(x) { return !x; }", "f", 0) == 1
+
+    def test_float_arithmetic(self):
+        result = run("func f(x) { return x * 2.5; }", "f", 4)
+        assert result == 10.0
+
+    def test_whole_pipeline_with_optimizer(self):
+        from repro.opt import optimize_module
+        src = """
+        func f(n) {
+            var a = 2 * 3;
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) { s = s + a; }
+            return s;
+        }
+        """
+        module = compile_source(src)
+        optimize_module(module)
+        verify_module(module)
+        machine = Machine(module)
+        assert machine.run("f", 10) == 60

@@ -1,0 +1,95 @@
+"""Tests for the cache_indexed policy (the §3.1 extension)."""
+
+import pytest
+
+from repro.config import ALL_ON
+from repro.dyc import compile_annotated, compile_static
+from repro.errors import CacheError
+from repro.frontend import compile_source, parse_program
+from repro.machine import Machine
+from repro.runtime.cache import IndexedCache
+from repro.runtime.overhead import DEFAULT_OVERHEAD
+
+SRC = """
+func f(x, b) {
+    make_static(b) : cache_indexed;
+    return x * b + b;
+}
+"""
+
+
+class TestIndexedCacheUnit:
+    def test_miss_then_hit(self):
+        cache = IndexedCache()
+        assert not cache.lookup((7,)).hit
+        cache.insert((7,), "v7")
+        assert cache.lookup((7,)).value == "v7"
+
+    def test_key_verified_unlike_unchecked(self):
+        cache = IndexedCache()
+        cache.insert((99, 7), "a")     # multi-part key, indexed on 7
+        assert cache.lookup((99, 7)).hit
+        assert not cache.lookup((100, 7)).hit  # same slot, different key
+
+    def test_slot_refill_counted(self):
+        cache = IndexedCache()
+        cache.insert((1, 7), "a")
+        cache.insert((2, 7), "b")
+        assert cache.refills == 1
+        assert cache.lookup((2, 7)).value == "b"
+
+    def test_range_enforced(self):
+        cache = IndexedCache()
+        with pytest.raises(CacheError):
+            cache.lookup((256,))
+        with pytest.raises(CacheError):
+            cache.lookup((-1,))
+        with pytest.raises(CacheError):
+            cache.lookup((1.5,))
+        with pytest.raises(CacheError):
+            cache.lookup(())
+
+    def test_single_probe(self):
+        cache = IndexedCache()
+        cache.insert((3,), "x")
+        assert cache.lookup((3,)).probes == 1
+
+
+class TestIndexedPolicyEndToEnd:
+    def test_parser_accepts_policy(self):
+        program = parse_program(SRC)
+        assert program.functions[0].body[0].policy == "cache_indexed"
+
+    def test_semantics_per_byte(self):
+        module = compile_source(SRC)
+        static_machine = Machine(compile_static(module))
+        compiled = compile_annotated(module)
+        machine, runtime = compiled.make_machine()
+        for b in (0, 1, 7, 255, 7, 1):
+            assert machine.run("f", 3, b) == static_machine.run("f", 3, b)
+        stats = runtime.stats.regions[0]
+        assert stats.indexed_dispatches == 6
+        assert stats.specializations == 4   # distinct byte values
+
+    def test_dispatch_cost_between_unchecked_and_hash(self):
+        cost = DEFAULT_OVERHEAD.dispatch_cost("cache_indexed")
+        assert DEFAULT_OVERHEAD.dispatch_cost("cache_one_unchecked") \
+            < cost < DEFAULT_OVERHEAD.dispatch_cost("cache_all")
+
+    def test_out_of_range_key_raises_at_dispatch(self):
+        module = compile_source(SRC)
+        compiled = compile_annotated(module)
+        machine, _ = compiled.make_machine()
+        with pytest.raises(CacheError, match="outside"):
+            machine.run("f", 3, 1000)
+
+    def test_unchecked_ablation_does_not_affect_indexed(self):
+        # cache_indexed is a *safe* policy; the unchecked-dispatching
+        # ablation only coerces cache_one_unchecked.
+        module = compile_source(SRC)
+        compiled = compile_annotated(
+            module, ALL_ON.without("unchecked_dispatching")
+        )
+        machine, runtime = compiled.make_machine()
+        assert machine.run("f", 3, 9) == 36
+        assert runtime.stats.regions[0].indexed_dispatches == 1

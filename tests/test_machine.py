@@ -1,0 +1,232 @@
+"""Tests for the abstract machine: execution, cycle accounting, I-cache."""
+
+import pytest
+
+from repro.errors import MachineError, TrapError
+from repro.ir import FunctionBuilder, Memory, Module, Op
+from repro.machine import ALPHA_21164, ICacheModel, Machine
+from repro.machine.costs import CostModel
+from tests.helpers import build_countdown, build_diamond, run_function
+
+
+class TestExecution:
+    def test_countdown(self):
+        result, _ = run_function(build_countdown(), 10)
+        assert result == 55
+
+    def test_diamond_both_arms(self):
+        f = build_diamond()
+        assert run_function(f, 0)[0] == 2
+        assert run_function(f, 3)[0] == 4
+
+    def test_memory_roundtrip(self):
+        b = FunctionBuilder("f", ("p",))
+        b.store("p", 41)
+        b.load("x", "p")
+        b.binop("x", Op.ADD, "x", 1)
+        b.ret("x")
+        mem = Memory()
+        base = mem.alloc(1)
+        result, _ = run_function(b.finish(), base, memory=mem)
+        assert result == 42
+        assert mem.load(base) == 41
+
+    def test_function_calls(self):
+        mod = Module()
+        b = FunctionBuilder("square", ("x",))
+        b.binop("r", Op.MUL, "x", "x")
+        b.ret("r")
+        mod.add_function(b.finish())
+        b = FunctionBuilder("main", ("n",))
+        b.call("s", "square", ["n"])
+        b.binop("r", Op.ADD, "s", 1)
+        b.ret("r")
+        mod.add_function(b.finish())
+        machine = Machine(mod)
+        assert machine.run("main", 6) == 37
+
+    def test_intrinsic_call(self):
+        b = FunctionBuilder("f", ())
+        b.call("c", "cos", [0.0])
+        b.ret("c")
+        result, _ = run_function(b.finish())
+        assert result == 1.0
+
+    def test_print_val_collects_output(self):
+        b = FunctionBuilder("f", ())
+        b.call(None, "print_val", [7])
+        b.call(None, "print_val", [8])
+        b.ret(0)
+        _, machine = run_function(b.finish())
+        assert machine.output == [7, 8]
+
+    def test_unknown_function_raises(self):
+        b = FunctionBuilder("f", ())
+        b.call("x", "no_such_fn", [])
+        b.ret(0)
+        with pytest.raises(MachineError, match="no_such_fn"):
+            run_function(b.finish())
+
+    def test_undefined_variable_traps(self):
+        b = FunctionBuilder("f", ())
+        b.ret("never_defined")
+        with pytest.raises(TrapError, match="never_defined"):
+            run_function(b.finish())
+
+    def test_wrong_arity_raises(self):
+        f = build_diamond()
+        mod = Module()
+        mod.add_function(f)
+        with pytest.raises(MachineError, match="takes 1"):
+            Machine(mod).run("diamond", 1, 2)
+
+    def test_step_limit_catches_infinite_loop(self):
+        b = FunctionBuilder("f", ())
+        b.jump("spin")
+        b.label("spin")
+        b.jump("spin")
+        mod = Module()
+        mod.add_function(b.finish())
+        machine = Machine(mod, step_limit=1000)
+        with pytest.raises(MachineError, match="step limit"):
+            machine.run("f")
+
+    def test_recursion_depth_guard(self):
+        b = FunctionBuilder("f", ("n",))
+        b.call("r", "f", ["n"])
+        b.ret("r")
+        mod = Module()
+        mod.add_function(b.finish())
+        with pytest.raises(MachineError, match="depth"):
+            Machine(mod).run("f", 1)
+
+
+class TestCycleAccounting:
+    def test_cycles_scale_with_iterations(self):
+        f = build_countdown()
+        _, m10 = run_function(f, 10)
+        _, m20 = run_function(f, 20)
+        delta10 = m10.stats.cycles
+        delta20 = m20.stats.cycles
+        assert delta20 > delta10
+        # Per-iteration cost is constant: doubling n roughly doubles cycles.
+        assert delta20 / delta10 == pytest.approx(2.0, rel=0.2)
+
+    def test_float_ops_cost_more_than_int(self):
+        def build(value):
+            b = FunctionBuilder("f", ())
+            b.move("a", value)
+            b.binop("r", Op.MUL, "a", "a")
+            b.ret("r")
+            return b.finish()
+
+        _, m_int = run_function(build(3))
+        _, m_float = run_function(build(3.0))
+        # Integer multiply is slower than FP multiply on this model, but
+        # FP moves cost as much as FP multiplies (the §2.2.7 property).
+        model = ALPHA_21164
+        assert model.move_fp == model.fp_mul
+
+    def test_instruction_count(self):
+        b = FunctionBuilder("f", ())
+        b.move("a", 1)
+        b.binop("b", Op.ADD, "a", 1)
+        b.ret("b")
+        _, machine = run_function(b.finish())
+        assert machine.stats.instructions == 3
+
+    def test_annotations_execute_for_free(self):
+        b1 = FunctionBuilder("f", ("x",))
+        b1.make_static("x")
+        b1.ret("x")
+        b2 = FunctionBuilder("f", ("x",))
+        b2.ret("x")
+        _, with_ann = run_function(b1.finish(), 1)
+        _, without = run_function(b2.finish(), 1)
+        assert with_ann.stats.cycles == without.stats.cycles
+
+    def test_tracked_scope_attribution(self):
+        mod = Module()
+        inner = FunctionBuilder("inner", ("n",))
+        inner.binop("r", Op.MUL, "n", "n")
+        inner.ret("r")
+        mod.add_function(inner.finish())
+        outer = FunctionBuilder("main", ())
+        outer.call("a", "inner", [3])
+        outer.binop("b", Op.ADD, "a", 1)
+        outer.ret("b")
+        mod.add_function(outer.finish())
+        machine = Machine(mod, tracked={"inner"})
+        machine.run("main")
+        assert 0 < machine.stats.scope_cycles["inner"] < machine.stats.cycles
+        assert machine.stats.scope_entries["inner"] == 1
+
+    def test_cost_model_overrides(self):
+        model = ALPHA_21164.with_overrides(int_mul=100)
+        b = FunctionBuilder("f", ("x",))
+        b.binop("r", Op.MUL, "x", "x")
+        b.ret("r")
+        mod = Module()
+        mod.add_function(b.finish())
+        expensive = Machine(mod, cost_model=model)
+        expensive.run("f", 3)
+        cheap = Machine(mod)
+        cheap.run("f", 3)
+        assert expensive.stats.cycles > cheap.stats.cycles
+
+
+class TestICacheModel:
+    def test_no_penalty_under_capacity(self):
+        model = ICacheModel()
+        assert model.per_instruction_penalty(100) == 0.0
+        assert model.per_instruction_penalty(
+            model.capacity_instructions) == 0.0
+
+    def test_graded_penalty_above_capacity(self):
+        model = ICacheModel()
+        cap = model.capacity_instructions
+        small = model.per_instruction_penalty(int(cap * 1.2))
+        large = model.per_instruction_penalty(int(cap * 2.0))
+        assert 0 < small < large
+        assert large == model.per_instruction_penalty(cap * 10)  # saturates
+
+    def test_capacity_matches_21164(self):
+        model = ICacheModel()
+        assert model.capacity_bytes == 8 * 1024
+        assert model.capacity_instructions == 2048
+        assert model.instructions_per_line == 8
+
+    def test_penalty_slows_execution(self):
+        # Same code, two machines: one with a tiny I-cache.
+        f = build_countdown()
+        mod = Module()
+        mod.add_function(f)
+        normal = Machine(mod)
+        normal.run("countdown", 50)
+        tiny = Machine(mod, icache=ICacheModel(capacity_bytes=16))
+        tiny.run("countdown", 50)
+        assert tiny.stats.cycles > normal.stats.cycles
+
+
+class TestCostModel:
+    def test_fp_move_costs_fp_mul(self):
+        # The paper's motivating 21164 property (§2.2.7).
+        assert ALPHA_21164.move_fp == ALPHA_21164.fp_mul
+
+    def test_strength_reduction_is_profitable(self):
+        # Shifts must beat integer multiplies for SR to matter.
+        assert ALPHA_21164.int_alu < ALPHA_21164.int_mul
+        assert ALPHA_21164.int_alu < ALPHA_21164.int_div
+
+    def test_binop_cost_classification(self):
+        m = CostModel()
+        assert m.binop_cost("mul", False) == m.int_mul
+        assert m.binop_cost("mul", True) == m.fp_mul
+        assert m.binop_cost("div", False) == m.int_div
+        assert m.binop_cost("add", False) == m.int_alu
+        assert m.binop_cost("add", True) == m.fp_alu
+
+    def test_intrinsic_cost_default(self):
+        m = CostModel()
+        assert m.intrinsic_cost("cos") == 80
+        assert m.intrinsic_cost("unknown_thing") == m.intrinsic_default

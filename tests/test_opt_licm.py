@@ -1,0 +1,154 @@
+"""Tests for the optional loop-invariant code motion pass."""
+
+import copy
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.ir import BinOp, Load, Memory, Op, verify_function
+from repro.opt import optimize_function
+from repro.opt.licm import loop_invariant_code_motion
+from tests.helpers import run_function
+
+
+def function_of(src: str, name: str = "f"):
+    module = compile_source(src)
+    function = module.function(name)
+    optimize_function(function)
+    return function
+
+
+def loop_body_instrs(function):
+    from repro.analysis.cfg import natural_loops
+    instrs = []
+    for loop in natural_loops(function):
+        for label in loop.body:
+            instrs.extend(function.blocks[label].instrs)
+    return instrs
+
+
+class TestLicm:
+    SRC = """
+    func f(a, b, n) {
+        var s = 0;
+        for (i = 0; i < n; i = i + 1) {
+            var k = a * b;
+            s = s + k + i;
+        }
+        return s;
+    }
+    """
+
+    def test_hoists_invariant_multiply(self):
+        function = function_of(self.SRC)
+        assert loop_invariant_code_motion(function)
+        verify_function(function)
+        muls = [
+            i for i in loop_body_instrs(function)
+            if isinstance(i, BinOp) and i.op is Op.MUL
+        ]
+        assert not muls
+
+    def test_semantics_preserved(self):
+        function = function_of(self.SRC)
+        baseline = copy.deepcopy(function)
+        loop_invariant_code_motion(function)
+        for args in ((3, 4, 5), (2, 2, 0), (7, 1, 10)):
+            assert run_function(function, *args)[0] == \
+                run_function(baseline, *args)[0]
+
+    def test_hoisting_reduces_cycles(self):
+        function = function_of(self.SRC)
+        baseline = copy.deepcopy(function)
+        loop_invariant_code_motion(function)
+        _, fast = run_function(function, 3, 4, 20)
+        _, slow = run_function(baseline, 3, 4, 20)
+        assert fast.stats.cycles < slow.stats.cycles
+
+    def test_variant_computation_not_hoisted(self):
+        src = """
+        func f(a, n) {
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) {
+                var k = a * i;
+                s = s + k;
+            }
+            return s;
+        }
+        """
+        function = function_of(src)
+        loop_invariant_code_motion(function)
+        muls = [
+            i for i in loop_body_instrs(function)
+            if isinstance(i, BinOp) and i.op is Op.MUL
+        ]
+        assert muls  # i-dependent multiply must stay
+
+    def test_load_not_hoisted_past_stores(self):
+        src = """
+        func f(p, n) {
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) {
+                var v = p[0];
+                p[1] = v + i;
+                s = s + v;
+            }
+            return s;
+        }
+        """
+        function = function_of(src)
+        loop_invariant_code_motion(function)
+        loads = [
+            i for i in loop_body_instrs(function) if isinstance(i, Load)
+        ]
+        assert loads  # the loop stores: the load must not move
+
+    def test_load_hoisted_from_pure_loop(self):
+        src = """
+        func f(p, n) {
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) {
+                s = s + p[0];
+            }
+            return s;
+        }
+        """
+        function = function_of(src)
+        assert loop_invariant_code_motion(function)
+        mem = Memory()
+        p = mem.alloc_array([5])
+        result, _ = run_function(function, p, 4, memory=mem)
+        assert result == 20
+
+    def test_trapping_op_not_hoisted_past_zero_trip_guard(self):
+        # Hoisting a/b out of a loop that runs zero times must not
+        # introduce a division-by-zero trap.
+        src = """
+        func f(a, b, n) {
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) {
+                var k = a / b;
+                s = s + k;
+            }
+            return s;
+        }
+        """
+        function = function_of(src)
+        loop_invariant_code_motion(function)
+        verify_function(function)
+        # b == 0 with n == 0: the original never divides.
+        result, _ = run_function(function, 4, 0, 0)
+        assert result == 0
+        # And it still computes correctly when the loop does run.
+        assert run_function(function, 9, 3, 4)[0] == 12
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=-10, max_value=10),
+           st.integers(min_value=-10, max_value=10),
+           st.integers(min_value=0, max_value=12))
+    def test_property_equivalence(self, a, b, n):
+        function = function_of(self.SRC)
+        baseline = copy.deepcopy(function)
+        loop_invariant_code_motion(function)
+        assert run_function(function, a, b, n)[0] == \
+            run_function(baseline, a, b, n)[0]

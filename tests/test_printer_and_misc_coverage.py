@@ -1,0 +1,100 @@
+"""Coverage for the printer's runtime instructions, strength helpers,
+and assorted small paths."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    EnterRegion,
+    ExitRegion,
+    Promote,
+    format_instr,
+    format_module,
+)
+from repro.ir.eval import eval_binop
+from repro.ir.instructions import Op
+from repro.opt.strength import two_term_decomposition
+
+
+class TestPrinterRuntimeInstrs:
+    def test_promote(self):
+        text = format_instr(Promote(
+            region_id=1, point_id=2, keys=("pc",),
+            policy="cache_one_unchecked", emission_id=7,
+        ))
+        assert "promote" in text and "pc" in text
+        assert "cache_one_unchecked" in text
+
+    def test_enter_region(self):
+        text = format_instr(EnterRegion(
+            region_id=0, keys=("n",), exits=("after", "done"),
+        ))
+        assert "enter_region 0" in text
+        assert "after, done" in text
+
+    def test_exit_region(self):
+        assert format_instr(ExitRegion(3)) == "exit_region 3"
+
+    def test_format_module(self):
+        from repro.frontend import compile_source
+        module = compile_source(
+            "func a() { return 1; } func b() { return 2; }"
+        )
+        text = format_module(module)
+        assert "func a():" in text and "func b():" in text
+
+
+class TestTwoTermDecomposition:
+    @given(st.integers(min_value=3, max_value=255))
+    def test_decomposition_is_exact(self, value):
+        decomposition = two_term_decomposition(value)
+        if decomposition is None:
+            return
+        a, op, b = decomposition
+        reconstructed = (1 << a) + (1 << b) if op == "add" \
+            else (1 << a) - (1 << b)
+        assert reconstructed == value
+
+    def test_known_decompositions(self):
+        assert two_term_decomposition(3) is not None    # 2+1
+        assert two_term_decomposition(7) is not None    # 8-1
+        assert two_term_decomposition(12) is not None   # 8+4
+        assert two_term_decomposition(43) is None       # not 2^a±2^b
+        assert two_term_decomposition(2) is None        # pure power: n/a
+        assert two_term_decomposition(0) is None
+
+    @given(st.integers(min_value=-100, max_value=100),
+           st.sampled_from([3, 5, 6, 7, 9, 10, 12, 15, 24, 33, 96]))
+    def test_shift_add_equals_multiply(self, x, c):
+        a, op, b = two_term_decomposition(c)
+        via_shifts = (x << a) + (x << b) if op == "add" \
+            else (x << a) - (x << b)
+        assert via_shifts == x * c
+        assert eval_binop(Op.MUL, x, c) == via_shifts
+
+
+class TestExecutionStatsSnapshot:
+    def test_snapshot_is_independent(self):
+        from repro.machine.interp import ExecutionStats
+        stats = ExecutionStats()
+        stats.cycles = 10.0
+        stats.scope_cycles["f"] = 5.0
+        snap = stats.snapshot()
+        stats.cycles = 99.0
+        stats.scope_cycles["f"] = 99.0
+        assert snap.cycles == 10.0
+        assert snap.scope_cycles["f"] == 5.0
+
+
+class TestOverheadModel:
+    def test_dispatch_cost_policies(self):
+        from repro.runtime.overhead import DEFAULT_OVERHEAD as o
+        assert o.dispatch_cost("cache_one_unchecked") == 10.0
+        assert o.dispatch_cost("cache_indexed") == 14.0
+        one = o.dispatch_cost("cache_all", probes=1)
+        three = o.dispatch_cost("cache_all", probes=3)
+        assert three - one == 2 * o.dispatch_hash_per_probe
+
+    def test_paper_90_cycle_average_is_within_model(self):
+        from repro.runtime.overhead import DEFAULT_OVERHEAD as o
+        # ~2 probes averages to the paper's ~90 cycles.
+        assert o.dispatch_cost("cache_all", probes=2) == 90.0

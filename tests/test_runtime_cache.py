@@ -1,0 +1,120 @@
+"""Tests for the code caches: double hashing and the unchecked slot."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CacheError
+from repro.runtime.cache import CodeCache, LookupResult, UncheckedCache
+
+keys = st.tuples(st.integers(min_value=-10**6, max_value=10**6),
+                 st.integers(min_value=0, max_value=255))
+
+
+class TestCodeCache:
+    def test_miss_then_hit(self):
+        cache = CodeCache()
+        assert not cache.lookup((1, 2)).hit
+        cache.insert((1, 2), "code")
+        result = cache.lookup((1, 2))
+        assert result.hit and result.value == "code"
+
+    def test_distinct_keys_independent(self):
+        cache = CodeCache()
+        cache.insert((1,), "a")
+        cache.insert((2,), "b")
+        assert cache.lookup((1,)).value == "a"
+        assert cache.lookup((2,)).value == "b"
+        assert not cache.lookup((3,)).hit
+
+    def test_overwrite_same_key(self):
+        cache = CodeCache()
+        cache.insert((5,), "old")
+        cache.insert((5,), "new")
+        assert cache.lookup((5,)).value == "new"
+        assert len(cache) == 1
+
+    def test_growth_preserves_entries(self):
+        cache = CodeCache(initial_size=4)
+        for k in range(50):
+            cache.insert((k,), k * 10)
+        for k in range(50):
+            result = cache.lookup((k,))
+            assert result.hit and result.value == k * 10
+        assert len(cache) == 50
+
+    def test_probe_counting(self):
+        cache = CodeCache()
+        result = cache.lookup((9,))
+        assert result.probes >= 1
+        assert cache.total_lookups == 1
+        assert cache.total_probes >= 1
+
+    def test_collisions_increase_probes(self):
+        # Load a small table heavily: average probes must exceed 1.
+        cache = CodeCache(initial_size=16, max_load_factor=0.95)
+        for k in range(13):
+            cache.insert((k * 7919,), k)
+        for k in range(13):
+            assert cache.lookup((k * 7919,)).hit
+        assert cache.average_probes > 1.0
+
+    def test_float_keys(self):
+        cache = CodeCache()
+        cache.insert((1.5, 2.5), "fp")
+        assert cache.lookup((1.5, 2.5)).hit
+        assert not cache.lookup((1.5, 2.0)).hit
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(CacheError):
+            CodeCache(initial_size=2)
+
+    def test_items_iteration(self):
+        cache = CodeCache()
+        data = {(k,): k * 2 for k in range(10)}
+        for key, value in data.items():
+            cache.insert(key, value)
+        assert dict(cache.items()) == data
+
+    def test_deterministic_hash(self):
+        # The FNV fold must be PYTHONHASHSEED-independent for numbers.
+        from repro.runtime.cache import _hash_key
+        assert _hash_key((42, 7)) == _hash_key((42, 7))
+        assert _hash_key((42,)) != _hash_key((43,))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(keys, st.integers()), max_size=60))
+    def test_model_based_against_dict(self, operations):
+        cache = CodeCache(initial_size=8)
+        model: dict = {}
+        for key, value in operations:
+            cache.insert(key, value)
+            model[key] = value
+        for key, value in model.items():
+            result = cache.lookup(key)
+            assert result.hit and result.value == value
+        assert len(cache) == len(model)
+
+
+class TestUncheckedCache:
+    def test_first_lookup_misses(self):
+        cache = UncheckedCache()
+        assert not cache.lookup((1,)).hit
+
+    def test_returns_slot_without_key_check(self):
+        # The documented hazard: any key hits once the slot is filled.
+        cache = UncheckedCache()
+        cache.insert((1,), "for-1")
+        assert cache.lookup((1,)).value == "for-1"
+        assert cache.lookup((999,)).value == "for-1"  # stale, no check
+
+    def test_strict_mode_raises_on_key_change(self):
+        cache = UncheckedCache(strict=True)
+        cache.insert((1,), "v")
+        assert cache.lookup((1,)).hit
+        with pytest.raises(CacheError, match="unsafe"):
+            cache.lookup((2,))
+
+    def test_single_probe(self):
+        cache = UncheckedCache()
+        cache.insert((1,), "v")
+        assert cache.lookup((1,)).probes == 1

@@ -1,0 +1,223 @@
+"""Unit-level tests for specializer mechanics and emitted-code shape."""
+
+import pytest
+
+from repro.config import ALL_ON
+from repro.dyc import compile_annotated, compile_static
+from repro.errors import SpecializationError
+from repro.frontend import compile_source
+from repro.ir import (
+    BasicBlock,
+    Branch,
+    ExitRegion,
+    Function,
+    Jump,
+    Memory,
+    Move,
+    Reg,
+    Return,
+)
+from repro.machine import Machine
+from repro.runtime.cache import UncheckedCache
+from repro.runtime.specializer import Specializer, SpecializedCode
+
+
+def emitted_code(src, *args, config=ALL_ON, memory=None):
+    module = compile_source(src)
+    compiled = compile_annotated(module, config)
+    machine, runtime = compiled.make_machine(memory=memory)
+    result = machine.run(module.main or "f", *args)
+    cache = runtime.entry_caches[0]
+    code = (cache._value if isinstance(cache, UncheckedCache)
+            else next(iter(cache.items()))[1])
+    return result, code, runtime
+
+
+class TestThreadJumps:
+    def _code(self, blocks, entry):
+        function = Function("r", (), blocks={
+            b.label: b for b in blocks
+        }, entry=entry)
+        return SpecializedCode(region_id=0, function=function)
+
+    def test_trivial_chain_collapsed(self):
+        code = self._code([
+            BasicBlock("a", [Jump("b")]),
+            BasicBlock("b", [Jump("c")]),
+            BasicBlock("c", [Move("x", Reg("y")), Return(None)]),
+        ], entry="a")
+        Specializer._thread_jumps(code, protected={"a"})
+        assert set(code.function.blocks) == {"a", "c"}
+        assert code.function.blocks["a"].instrs == [Jump("c")]
+
+    def test_protected_blocks_kept(self):
+        code = self._code([
+            BasicBlock("a", [Jump("b")]),
+            BasicBlock("b", [Jump("c")]),
+            BasicBlock("c", [Return(None)]),
+        ], entry="a")
+        Specializer._thread_jumps(code, protected={"a", "b"})
+        assert "b" in code.function.blocks
+
+    def test_branch_targets_retargeted(self):
+        code = self._code([
+            BasicBlock("a", [Branch(Reg("c"), "t1", "t2")]),
+            BasicBlock("t1", [Jump("end")]),
+            BasicBlock("t2", [Move("x", Reg("y")), Jump("end")]),
+            BasicBlock("end", [Return(None)]),
+        ], entry="a")
+        Specializer._thread_jumps(code, protected={"a"})
+        term = code.function.blocks["a"].instrs[-1]
+        assert term.if_true == "end"     # threaded through t1
+        assert term.if_false == "t2"     # t2 has real content
+
+    def test_jump_absorbs_singleton_exit(self):
+        code = self._code([
+            BasicBlock("a", [Move("x", Reg("y")), Jump("ex")]),
+            BasicBlock("ex", [ExitRegion(0)]),
+        ], entry="a")
+        Specializer._thread_jumps(code, protected={"a"})
+        assert code.function.blocks["a"].instrs[-1] == ExitRegion(0)
+        assert "ex" not in code.function.blocks
+
+    def test_context_map_updated(self):
+        code = self._code([
+            BasicBlock("a", [Jump("b")]),
+            BasicBlock("b", [Jump("c")]),
+            BasicBlock("c", [Return(None)]),
+        ], entry="a")
+        code.contexts[("lbl", frozenset(), (1,))] = "b"
+        Specializer._thread_jumps(code, protected={"a"})
+        assert code.contexts[("lbl", frozenset(), (1,))] == "c"
+
+
+class TestEmittedCodeShape:
+    def test_no_makestatic_in_emitted_code(self):
+        from repro.ir import MakeDynamic, MakeStatic
+        src = """
+        func f(x, n) {
+            make_static(n, i);
+            var s = 0;
+            for (i = 0; i < n; i = i + 1) { s = s + x; }
+            make_dynamic(n);
+            return s + n;
+        }
+        """
+        _, code, _ = emitted_code(src, 2, 4)
+        for block in code.function.blocks.values():
+            for instr in block.instrs:
+                assert not isinstance(instr, (MakeStatic, MakeDynamic))
+
+    def test_emitted_code_verifies_structurally(self):
+        from repro.ir import verify_function
+        src = """
+        func f(v, w, n) {
+            make_static(v, n, i);
+            var s = 0.0;
+            for (i = 0; i < n; i = i + 1) { s = s + v@[i] * w[i]; }
+            return s;
+        }
+        """
+        mem = Memory()
+        v = mem.alloc_array([1.0, 0.0, 2.0])
+        w = mem.alloc_array([4.0, 5.0, 6.0])
+        _, code, _ = emitted_code(src, v, w, 3, memory=mem)
+        verify_function(code.function)
+
+    def test_footprint_tracks_instruction_count(self):
+        src = "func f(x, n) { make_static(n); return x + n * n; }"
+        _, code, _ = emitted_code(src, 1, 3)
+        assert code.footprint == code.function.instruction_count()
+
+    def test_make_dynamic_residualizes_value(self):
+        src = """
+        func f(x, n) {
+            make_static(n);
+            var a = n * 2;
+            make_dynamic(n);
+            return a + n + x;
+        }
+        """
+        result, code, _ = emitted_code(src, 10, 4)
+        assert result == 22
+        # n's value (4) must appear as a residual constant move.
+        from repro.ir import Imm
+        moves = [
+            i for b in code.function.blocks.values() for i in b.instrs
+            if isinstance(i, Move) and i.src == Imm(4)
+        ]
+        assert moves, "make_dynamic must materialize the static value"
+
+
+class TestGuardrails:
+    def test_runaway_specialization_detected(self):
+        import repro.runtime.specializer as sp
+        # An annotated loop whose bound is *dynamic* is demoted (safe);
+        # but a static chain that simply never converges is caught by
+        # the context limit.
+        src = """
+        func f(x, n) {
+            make_static(n, i);
+            var i = 0;
+            while (i >= 0) { i = i + 1; }
+            return x;
+        }
+        """
+        module = compile_source(src)
+        compiled = compile_annotated(module)
+        machine, _ = compiled.make_machine()
+        old = sp.MAX_CONTEXTS_PER_BATCH
+        sp.MAX_CONTEXTS_PER_BATCH = 500
+        try:
+            with pytest.raises(SpecializationError, match="exceeded"):
+                machine.run("f", 1, 3)
+        finally:
+            sp.MAX_CONTEXTS_PER_BATCH = old
+
+    def test_missing_entry_key_reported(self):
+        src = "func f(x, n) { make_static(n); return x + n; }"
+        module = compile_source(src)
+        compiled = compile_annotated(module)
+        machine, runtime = compiled.make_machine()
+        from repro.ir import EnterRegion
+        # Simulate a corrupted host env (n absent) via direct dispatch.
+        instr = EnterRegion(region_id=0, keys=("n",), exits=())
+        with pytest.raises(SpecializationError, match="undefined"):
+            runtime.enter_region(machine, instr, {"x": 1})
+
+
+class TestPromotionMechanics:
+    SRC = """
+    func f(x, n) {
+        make_static(n);
+        var a = n + 1;
+        n = x * 2;
+        var b = n + a;
+        n = x + 100;
+        var c = n + b;
+        return c;
+    }
+    """
+
+    def test_chained_promotions(self):
+        module = compile_source(self.SRC)
+        static_machine = Machine(compile_static(module))
+        compiled = compile_annotated(module)
+        machine, runtime = compiled.make_machine()
+        for x in (1, 2, 1, 5):
+            assert machine.run("f", x, 3) == static_machine.run(
+                "f", x, 3)
+        stats = runtime.stats.regions[0]
+        assert stats.internal_promotion_points >= 2
+        assert stats.internal_promotions_executed >= 8
+
+    def test_promotion_cache_reuse(self):
+        module = compile_source(self.SRC)
+        compiled = compile_annotated(module)
+        machine, runtime = compiled.make_machine()
+        machine.run("f", 1, 3)
+        generated_after_first = \
+            runtime.stats.regions[0].instructions_generated
+        machine.run("f", 1, 3)   # all promoted values recur: no growth
+        assert (runtime.stats.regions[0].instructions_generated
+                == generated_after_first)
