@@ -1,5 +1,19 @@
-"""Control-flow-graph analyses shared by the optimizer and the BTA."""
+"""Control-flow-graph analyses shared by the optimizer, BTA, and linter."""
 
+from repro.analysis.defuse import (
+    UseBeforeDef,
+    definitely_assigned,
+    unreachable_blocks,
+    use_before_def,
+)
+from repro.analysis.dominators import DominatorTree, dominance_frontier
+from repro.analysis.liveness import liveness
+
+# Imported last on purpose: importing the ``repro.analysis.dominators``
+# submodule (above) binds the package attribute ``dominators`` to that
+# module; this import rebinds it to the historical *function* of the same
+# name so ``from repro.analysis import dominators`` keeps returning the
+# dominator-set computation.
 from repro.analysis.cfg import (
     reverse_postorder,
     postorder,
@@ -10,7 +24,6 @@ from repro.analysis.cfg import (
     Loop,
     loop_body_map,
 )
-from repro.analysis.liveness import liveness
 
 __all__ = [
     "reverse_postorder",
@@ -22,4 +35,10 @@ __all__ = [
     "Loop",
     "loop_body_map",
     "liveness",
+    "DominatorTree",
+    "dominance_frontier",
+    "UseBeforeDef",
+    "definitely_assigned",
+    "unreachable_blocks",
+    "use_before_def",
 ]

@@ -1,0 +1,164 @@
+"""Definite-assignment (def-before-use) analysis.
+
+The structural verifier in :mod:`repro.ir.validate` checks block shape;
+this module checks *dataflow* well-formedness: every ``Reg`` use must be
+preceded by a definition (or a parameter binding) on **every** path from
+the entry.  Two cooperating mechanisms answer that:
+
+* a dominator-tree fast path — a definition in a strictly dominating
+  block, or earlier in the same block, covers the use on all paths;
+* a forward must-analysis (intersection over predecessors) for the
+  general case, which correctly accepts diamond patterns where a
+  variable is defined on both arms of a branch but in neither
+  dominator (e.g. the front end's short-circuit lowering).
+
+``EnterRegion`` terminators transfer to "everything assigned": the
+dispatched dynamic region runs the original region body, which may
+define any variable, before resuming at an exit label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import reverse_postorder
+from repro.analysis.dominators import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instructions import EnterRegion
+
+
+@dataclass(frozen=True)
+class UseBeforeDef:
+    """One possibly-undefined use: where it is and what it reads."""
+
+    block: str
+    index: int
+    name: str
+    instr: str  # instruction class name, for diagnostics
+
+    def describe(self) -> str:
+        return (f"{self.block}[{self.index}] ({self.instr}): "
+                f"use of {self.name!r} not definitely assigned")
+
+
+def _all_names(function: Function) -> frozenset[str]:
+    names: set[str] = set(function.params)
+    for _, _, instr in function.instructions():
+        names.update(instr.defs())
+        names.update(instr.uses())
+    return frozenset(names)
+
+
+def unreachable_blocks(function: Function) -> frozenset[str]:
+    """Labels of blocks no CFG path from the entry reaches."""
+    reachable: set[str] = set()
+    worklist = [function.entry] if function.entry else []
+    while worklist:
+        label = worklist.pop()
+        if label in reachable or label not in function.blocks:
+            continue
+        reachable.add(label)
+        worklist.extend(function.blocks[label].successors())
+    return frozenset(set(function.blocks) - reachable)
+
+
+def definitely_assigned(function: Function) -> dict[str, frozenset[str]]:
+    """Variables definitely assigned at entry to each *reachable* block.
+
+    Forward must-analysis: the entry block starts from the parameter
+    set; every other block meets (intersects) its predecessors' exit
+    sets.  ``EnterRegion`` transfers to the full name universe (the
+    region body may assign anything before execution resumes).
+    """
+    universe = _all_names(function)
+    order = reverse_postorder(function)
+    in_sets: dict[str, frozenset[str]] = {}
+    preds = function.predecessors()
+
+    def transfer(label: str, assigned: frozenset[str]) -> frozenset[str]:
+        current = set(assigned)
+        for instr in function.blocks[label].instrs:
+            if isinstance(instr, EnterRegion):
+                return universe
+            current.update(instr.defs())
+        return frozenset(current)
+
+    out_sets: dict[str, frozenset[str]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == function.entry:
+                new_in = frozenset(function.params)
+            else:
+                met: frozenset[str] | None = None
+                for pred in preds[label]:
+                    if pred not in out_sets:
+                        continue  # not yet visited (back edge) / dead
+                    met = (out_sets[pred] if met is None
+                           else met & out_sets[pred])
+                new_in = universe if met is None else met
+            if in_sets.get(label) != new_in:
+                in_sets[label] = new_in
+                changed = True
+            new_out = transfer(label, new_in)
+            if out_sets.get(label) != new_out:
+                out_sets[label] = new_out
+                changed = True
+    return in_sets
+
+
+def use_before_def(function: Function,
+                   tree: DominatorTree | None = None
+                   ) -> list[UseBeforeDef]:
+    """All possibly-undefined uses in reachable blocks, in CFG order."""
+    if tree is None:
+        tree = DominatorTree.build(function)
+
+    # Fast path index: variable -> blocks containing a definition.
+    def_blocks: dict[str, set[str]] = {}
+    for block in function.blocks.values():
+        for instr in block.instrs:
+            for name in instr.defs():
+                def_blocks.setdefault(name, set()).add(block.label)
+    params = frozenset(function.params)
+
+    def covered_by_dominator(name: str, label: str) -> bool:
+        return any(
+            tree.strictly_dominates(def_label, label)
+            for def_label in def_blocks.get(name, ())
+        )
+
+    assigned_in = None  # computed lazily; most functions never need it
+    problems: list[UseBeforeDef] = []
+    for label in tree.reachable:
+        block = function.blocks[label]
+        local: set[str] = set()
+        pending: list[tuple[int, str]] = []
+        for index, instr in enumerate(block.instrs):
+            for name in instr.uses():
+                if name in params or name in local:
+                    continue
+                if covered_by_dominator(name, label):
+                    continue
+                pending.append((index, name))
+            local.update(instr.defs())
+        for index, name in pending:
+            if assigned_in is None:
+                assigned_in = definitely_assigned(function)
+            before = assigned_in.get(label, frozenset())
+            # Re-apply the block prefix for the precise per-instruction
+            # answer (the fast path already handled same-block defs that
+            # precede the use; this catches defs between the block entry
+            # and the use that the dominator test cannot see).
+            prefix: set[str] = set()
+            for i in range(index):
+                prefix.update(block.instrs[i].defs())
+            if name in before or name in prefix:
+                continue
+            problems.append(UseBeforeDef(
+                block=label, index=index, name=name,
+                instr=type(block.instrs[index]).__name__,
+            ))
+    problems.sort(key=lambda p: (p.block, p.index, p.name))
+    return problems

@@ -9,7 +9,7 @@ spurious re-specialization).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.ir.function import Function
 
@@ -24,16 +24,37 @@ class LivenessResult:
 
     live_in: dict[str, frozenset[str]]
     live_out: dict[str, frozenset[str]]
+    #: Per-block cache of per-instruction live-before sets, filled by one
+    #: backward sweep on first query.  Planners and the BTA ask about
+    #: every instruction of a block, so the cached sweep makes a full
+    #: scan O(block) instead of O(block^2).  The cache assumes the block
+    #: is not mutated between queries (true everywhere liveness is used:
+    #: analyses run on a frozen snapshot and recompute after rewrites).
+    _before: dict[str, list[frozenset[str]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def live_before(self, function: Function, label: str,
                     index: int) -> frozenset[str]:
-        """Variables live immediately before instruction ``index``."""
-        block = function.block(label)
-        live = set(self.live_out[label])
-        for instr in reversed(block.instrs[index:]):
-            live -= set(instr.defs())
-            live |= set(instr.uses())
-        return frozenset(live)
+        """Variables live immediately before instruction ``index``.
+
+        ``index`` may equal ``len(block.instrs)``, meaning the block
+        exit (``live_out``).
+        """
+        cached = self._before.get(label)
+        if cached is None:
+            block = function.block(label)
+            count = len(block.instrs)
+            cached = [frozenset()] * (count + 1)
+            live = set(self.live_out[label])
+            cached[count] = frozenset(live)
+            for i in range(count - 1, -1, -1):
+                instr = block.instrs[i]
+                live.difference_update(instr.defs())
+                live.update(instr.uses())
+                cached[i] = frozenset(live)
+            self._before[label] = cached
+        return cached[index]
 
 
 def liveness(function: Function) -> LivenessResult:

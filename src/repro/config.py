@@ -54,6 +54,10 @@ class OptConfig:
     polyvariant_division: bool = True
     #: Debug mode: verify that ``@`` loads really read invariant memory.
     check_annotations: bool = False
+    #: Run the staged-specialization linter (:mod:`repro.lint`) before
+    #: compiling; error-severity diagnostics abort compilation with
+    #: :class:`repro.errors.LintError`.
+    lint: bool = False
 
     def without(self, *names: str) -> "OptConfig":
         """A copy with the named optimizations disabled (for ablations)."""
@@ -65,9 +69,10 @@ class OptConfig:
 
     def enabled_names(self) -> tuple[str, ...]:
         """Names of the enabled optimization switches."""
+        debug_fields = ("check_annotations", "lint")
         return tuple(
             f.name for f in dataclasses.fields(self)
-            if f.name != "check_annotations" and getattr(self, f.name)
+            if f.name not in debug_fields and getattr(self, f.name)
         )
 
 

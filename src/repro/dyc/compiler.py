@@ -77,7 +77,15 @@ class DycCompiler:
 
     def compile(self, module: Module) -> CompiledProgram:
         """Produce a :class:`CompiledProgram`; ``module`` is not
-        modified."""
+        modified.
+
+        With ``config.lint`` enabled, the staged-specialization linter
+        runs first and error-severity diagnostics abort compilation
+        with :class:`LintError` — the specializer's behaviour on
+        ill-formed IR is undefined, so it never sees it.
+        """
+        if self.config.lint:
+            self._lint_gate(module)
         module = copy.deepcopy(module)
         compiled = CompiledProgram(module=module, config=self.config)
         next_region_id = 0
@@ -101,6 +109,20 @@ class DycCompiler:
             function.remove_unreachable_blocks()
             self._strip_annotations(function)
         return compiled
+
+    def _lint_gate(self, module: Module) -> None:
+        # Imported here: repro.lint imports the generating-extension
+        # definitions from this package, so a module-level import would
+        # be circular.
+        from repro.errors import LintError
+        from repro.lint import Severity, lint_module
+
+        diagnostics = lint_module(module, config=self.config)
+        errors = [
+            d for d in diagnostics if d.severity is Severity.ERROR
+        ]
+        if errors:
+            raise LintError(errors)
 
     @staticmethod
     def _rewrite_host(function, region: RegionInfo) -> None:

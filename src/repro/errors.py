@@ -57,6 +57,21 @@ class BTAError(AnalysisError):
     """Raised for binding-time-analysis-specific failures."""
 
 
+class LintError(AnalysisError):
+    """Raised when the pre-compile lint gate finds error diagnostics.
+
+    Carries the offending :class:`repro.lint.Diagnostic` list so callers
+    can render them; ``str()`` includes each one.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        summary = "; ".join(d.format() for d in self.diagnostics)
+        super().__init__(
+            f"lint found {len(self.diagnostics)} error(s): {summary}"
+        )
+
+
 class MachineError(ReproError):
     """Raised for runtime faults in the abstract machine."""
 

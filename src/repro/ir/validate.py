@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.errors import IRError
 from repro.ir.function import Function, Module
-from repro.ir.instructions import Hole, Instr, TERMINATORS
+from repro.ir.instructions import Call, Hole, Instr, TERMINATORS
 
 
 def verify_function(function: Function, allow_holes: bool = False) -> None:
@@ -69,15 +69,62 @@ def _verify_operands(where: str, instr: Instr, allow_holes: bool) -> None:
             )
 
 
-def verify_module(module: Module) -> None:
+def unresolved_calls(module: Module) -> list[tuple[str, str, int, str]]:
+    """All calls whose callee is neither a module function nor an
+    intrinsic.
+
+    Returns ``(function, block, index, callee)`` tuples.  The machine's
+    intrinsic table is imported lazily to avoid a circular import
+    (``repro.machine`` executes IR, which lives below it).
+    """
+    from repro.machine.intrinsics import INTRINSICS
+
+    problems: list[tuple[str, str, int, str]] = []
+    for function in module.functions.values():
+        for block, index, instr in function.instructions():
+            if not isinstance(instr, Call):
+                continue
+            callee = instr.callee
+            if callee in module.functions or callee in INTRINSICS:
+                continue
+            problems.append((function.name, block.label, index, callee))
+    return problems
+
+
+def verify_module(module: Module, check_calls: bool = True) -> None:
     """Verify every function and check that calls resolve.
 
-    Calls to unknown names are permitted only when they match an intrinsic
-    name; the machine's intrinsic table is consulted lazily to avoid a
-    circular import, so here we only check intra-module duplicates and
-    structural validity.
+    Every call must name a module function or a known intrinsic; pass
+    ``check_calls=False`` to skip that (the lint driver reports the same
+    condition as a diagnostic instead of an exception).
     """
     for function in module.functions.values():
         verify_function(function)
     if module.main is not None and module.main not in module.functions:
         raise IRError(f"module main {module.main!r} is not defined")
+    if check_calls:
+        for fn_name, label, index, callee in unresolved_calls(module):
+            raise IRError(
+                f"{fn_name}.{label}[{index}]: call to {callee!r} does "
+                "not resolve to a module function or intrinsic"
+            )
+
+
+def verify_dataflow(function: Function) -> None:
+    """Raise :class:`IRError` if any use is not definitely assigned.
+
+    This is the dataflow half of the verifier: every ``Reg`` use in a
+    reachable block must be dominated by a definition or covered by a
+    definite assignment on all paths (parameters count as assigned).
+    Unreachable blocks are skipped — optimization passes legitimately
+    leave them behind mid-pipeline; :func:`repro.analysis.defuse.
+    unreachable_blocks` reports them separately for the linter.
+    """
+    from repro.analysis.defuse import use_before_def
+
+    problems = use_before_def(function)
+    if problems:
+        detail = "; ".join(p.describe() for p in problems)
+        raise IRError(
+            f"function {function.name!r} fails def-before-use: {detail}"
+        )

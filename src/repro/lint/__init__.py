@@ -1,0 +1,28 @@
+"""Static analyzer for staged specialization (``python -m repro.lint``).
+
+Three layers of compile-time checking before the runtime specializer
+ever sees a program:
+
+* a **dataflow IR verifier** (DYC000-003): structural invariants,
+  definite assignment of every use, reachability, call resolution;
+* an **annotation safety linter** (DYC101-105): the hazard patterns the
+  paper warns about in its unsafe annotations — stale
+  ``cache_one_unchecked`` slots, dead annotations, ``@``-loads aliasing
+  region stores, unbounded multi-way unrolling, conflicting policies;
+* a **staged-plan consistency checker** (DYC201): ZCP/DAE plans
+  cross-validated against liveness, so a planner bug fails at static
+  compile time instead of miscompiling at dynamic compile time.
+"""
+
+from repro.lint.diagnostics import CODES, Diagnostic, Severity, has_errors
+from repro.lint.engine import lint_module, lint_source, select_codes
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Severity",
+    "has_errors",
+    "lint_module",
+    "lint_source",
+    "select_codes",
+]

@@ -1,0 +1,77 @@
+"""DYC0xx: IR well-formedness checks (structure, dataflow, calls)."""
+
+from __future__ import annotations
+
+from repro.analysis.defuse import unreachable_blocks, use_before_def
+from repro.errors import IRError
+from repro.ir.function import Function, Module
+from repro.ir.validate import unresolved_calls, verify_function
+from repro.lint.diagnostics import Diagnostic, Severity
+
+
+def check_structure(module: Module) -> list[Diagnostic]:
+    """DYC000: the structural verifier, reported per function."""
+    diags: list[Diagnostic] = []
+    for function in module.functions.values():
+        try:
+            verify_function(function)
+        except IRError as exc:
+            diags.append(Diagnostic(
+                code="DYC000",
+                severity=Severity.ERROR,
+                message=str(exc),
+                function=function.name,
+            ))
+    if module.main is not None and module.main not in module.functions:
+        diags.append(Diagnostic(
+            code="DYC000",
+            severity=Severity.ERROR,
+            message=f"module main {module.main!r} is not defined",
+        ))
+    return diags
+
+
+def check_def_before_use(function: Function) -> list[Diagnostic]:
+    """DYC001: every use definitely assigned on all paths."""
+    return [
+        Diagnostic(
+            code="DYC001",
+            severity=Severity.ERROR,
+            message=f"variable {p.name!r} may be used before assignment "
+                    f"(in {p.instr})",
+            function=function.name,
+            block=p.block,
+            index=p.index,
+        )
+        for p in use_before_def(function)
+    ]
+
+
+def check_reachability(function: Function) -> list[Diagnostic]:
+    """DYC002: blocks the entry cannot reach."""
+    return [
+        Diagnostic(
+            code="DYC002",
+            severity=Severity.WARNING,
+            message=f"block {label!r} is unreachable from the entry",
+            function=function.name,
+            block=label,
+        )
+        for label in sorted(unreachable_blocks(function))
+    ]
+
+
+def check_calls(module: Module) -> list[Diagnostic]:
+    """DYC003: every call resolves to a module function or intrinsic."""
+    return [
+        Diagnostic(
+            code="DYC003",
+            severity=Severity.ERROR,
+            message=f"call to {callee!r} does not resolve to a module "
+                    "function or intrinsic",
+            function=fn_name,
+            block=label,
+            index=index,
+        )
+        for fn_name, label, index, callee in unresolved_calls(module)
+    ]

@@ -1,0 +1,112 @@
+"""Diagnostic records emitted by the staged-specialization linter.
+
+Every finding carries a stable ``DYCnnn`` code so that suppression,
+``--select`` filtering, and CI baselines key on codes rather than on
+message text.  Code ranges group the checks:
+
+* ``DYC0xx`` — IR well-formedness (structure, dataflow, call
+  resolution).  Violations are errors: the specializer's behaviour on
+  such IR is undefined.
+* ``DYC1xx`` — annotation safety.  DyC's annotations are unchecked
+  programmer assertions (paper §2); these lints flag the assertion
+  patterns the paper warns about.  They are warnings (the program may
+  still be correct), promoted to errors under ``--strict``.
+* ``DYC2xx`` — staged-plan consistency.  A ZCP/DAE plan contradicting
+  liveness is a planner bug, always an error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Stable code -> one-line description (rendered by ``--codes`` and the
+#: README table).
+CODES: dict[str, str] = {
+    "DYC000": "malformed IR (structural verifier failure or parse error)",
+    "DYC001": "use of a variable that is not definitely assigned",
+    "DYC002": "block unreachable from the function entry",
+    "DYC003": "call does not resolve to a module function or intrinsic",
+    "DYC101": "dead annotation: static variable never used in its region",
+    "DYC102": "cache_one_unchecked variable has multiple reachable "
+              "make_static value sources",
+    "DYC103": "@-load from memory the same dynamic region may store to",
+    "DYC104": "promotion of a loop-variant variable under a dynamic loop "
+              "exit (unbounded multi-way unrolling)",
+    "DYC105": "conflicting cache policies for one variable across "
+              "annotations",
+    "DYC201": "staged ZCP/DAE plan contradicts liveness (planner bug)",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, locatable down to the instruction."""
+
+    code: str
+    severity: Severity
+    message: str
+    function: str | None = None
+    block: str | None = None
+    index: int | None = None
+    #: Source identifier (file path, or ``file.py::VAR`` for embedded
+    #: MiniC programs).
+    source: str | None = None
+
+    def location(self) -> str:
+        parts = []
+        if self.source:
+            parts.append(self.source)
+        if self.function:
+            parts.append(self.function)
+        if self.block:
+            where = self.block
+            if self.index is not None:
+                where += f"[{self.index}]"
+            parts.append(where)
+        return ":".join(parts) if parts else "<module>"
+
+    def format(self) -> str:
+        return f"{self.location()}: {self.severity} {self.code}: " \
+               f"{self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "source": self.source,
+        }
+
+    def with_source(self, source: str) -> "Diagnostic":
+        import dataclasses
+
+        return dataclasses.replace(self, source=source)
+
+
+def sort_key(diag: Diagnostic):
+    return (
+        diag.source or "",
+        diag.function or "",
+        diag.block or "",
+        -1 if diag.index is None else diag.index,
+        diag.code,
+    )
+
+
+def has_errors(diags: list[Diagnostic], strict: bool = False) -> bool:
+    if strict:
+        return bool(diags)
+    return any(d.severity is Severity.ERROR for d in diags)

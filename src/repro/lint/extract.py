@@ -1,0 +1,44 @@
+"""Locate MiniC programs embedded in Python files.
+
+The examples and workloads keep their MiniC programs in top-level string
+constants (``SOURCE = \"\"\" ... \"\"\"``).  The CI lint step sweeps
+``examples/*.py`` and the workload modules; this extractor finds every
+top-level string assignment that looks like a MiniC program (contains a
+``func`` definition) without importing the file.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def embedded_sources(text: str) -> list[tuple[str, str]]:
+    """``(variable_name, minic_source)`` pairs from Python source text."""
+    tree = ast.parse(text)
+    found: list[tuple[str, str]] = []
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not targets:
+            continue
+        if not (isinstance(value, ast.Constant)
+                and isinstance(value.value, str)):
+            continue
+        if "func " not in value.value:
+            continue
+        for target in targets:
+            found.append((target.id, value.value))
+    return found
+
+
+def embedded_sources_from_file(path: str) -> list[tuple[str, str]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return embedded_sources(handle.read())

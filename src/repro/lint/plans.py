@@ -1,0 +1,174 @@
+"""DYC2xx: cross-validation of staged ZCP/DAE plans against liveness.
+
+The planner (:mod:`repro.dyc.plans`) runs at static compile time and the
+completion stage trusts it blindly at dynamic compile time — no run-time
+IR analysis happens (§2.2.7).  A plan that marks an emitted result
+locally dead (``remote=False`` with no local uses) while liveness says
+the value flows out of the block would let dead-assignment elimination
+delete an instruction whose result is still read downstream: a
+miscompile.  This checker recomputes liveness on the region template and
+fails loudly on any such contradiction.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import liveness
+from repro.dyc.genext import (
+    ActionBlock,
+    EmitAction,
+    GeneratingExtension,
+    PromoteAction,
+    TermDynamic,
+    TermReturn,
+)
+from repro.dyc.plans import EMITTED_CLASSES
+from repro.ir.instructions import BinOp, Jump, Load, Move, UnOp
+from repro.lint.diagnostics import Diagnostic, Severity
+
+
+def _planned_actions(block: ActionBlock) -> list[EmitAction]:
+    """All emit actions of a compiled context, in template order."""
+    actions: list[EmitAction] = []
+    for action in block.actions:
+        if isinstance(action, EmitAction):
+            actions.append(action)
+        elif isinstance(action, PromoteAction) and action.emit is not None:
+            actions.append(action.emit)
+    term = block.terminator
+    if isinstance(term, (TermDynamic, TermReturn)):
+        actions.append(term.action)
+    return actions
+
+
+def check_genext_plans(genext: GeneratingExtension) -> list[Diagnostic]:
+    """Validate every context's plans against template liveness."""
+    template = genext.region.template
+    if template is None:
+        return []
+    live = liveness(template)
+    function_name = genext.region.function_name
+    diags: list[Diagnostic] = []
+
+    for (label, _division), action_block in genext.blocks.items():
+        instrs = template.blocks[label].instrs
+        facts = genext.region.contexts.get((label, action_block.division))
+        if facts is None:
+            continue
+        emitted_indexes = [
+            i for i, klass in enumerate(facts.classes)
+            if klass in EMITTED_CLASSES and not isinstance(instrs[i], Jump)
+        ]
+        actions = _planned_actions(action_block)
+        if len(actions) != len(emitted_indexes):
+            diags.append(Diagnostic(
+                code="DYC201",
+                severity=Severity.ERROR,
+                message=f"context {label!r}: {len(actions)} planned emit "
+                        f"actions but {len(emitted_indexes)} emitted "
+                        "instructions in the BTA facts",
+                function=function_name,
+                block=label,
+            ))
+            continue
+        live_out = live.live_out[label]
+        for index, action in zip(emitted_indexes, actions):
+            plan = action.plan
+            if plan is None:
+                continue
+            instr = instrs[index]
+            dests = instr.defs()
+            if not dests:
+                if plan.removable:
+                    diags.append(Diagnostic(
+                        code="DYC201",
+                        severity=Severity.ERROR,
+                        message=f"plan marks a result-less "
+                                f"{type(instr).__name__} removable",
+                        function=function_name,
+                        block=label,
+                        index=index,
+                    ))
+                continue
+            dest = dests[0]
+            if plan.removable and not isinstance(
+                    instr, (Move, UnOp, BinOp, Load)):
+                diags.append(Diagnostic(
+                    code="DYC201",
+                    severity=Severity.ERROR,
+                    message=f"plan marks effectful "
+                            f"{type(instr).__name__} (dest {dest!r}) "
+                            "removable; dead-assignment elimination "
+                            "could delete its side effect",
+                    function=function_name,
+                    block=label,
+                    index=index,
+                ))
+            redefined = any(
+                dest in instrs[j].defs()
+                for j in range(index + 1, len(instrs))
+            )
+            if plan.remote or redefined:
+                continue
+            if dest in live_out:
+                diags.append(Diagnostic(
+                    code="DYC201",
+                    severity=Severity.ERROR,
+                    message=f"plan marks {dest!r} locally dead "
+                            "(remote=False, no later redefinition) but "
+                            f"liveness says it is live out of {label!r}; "
+                            "dead-assignment elimination would delete a "
+                            "live value",
+                    function=function_name,
+                    block=label,
+                    index=index,
+                ))
+    return diags
+
+
+def corrupt_plans_for_selftest(genext: GeneratingExtension) -> int:
+    """Deliberately clear every plan's ``remote``/``local_uses`` flags.
+
+    Used by ``python -m repro.lint --inject-plan-fault`` (and the test
+    suite) to prove the consistency checker actually fires: after this,
+    any emitted result that is live out of its block contradicts its
+    plan.  Returns the number of plans corrupted.
+    """
+    import dataclasses
+
+    count = 0
+    for action_block in genext.blocks.values():
+        new_actions = []
+        for action in action_block.actions:
+            emit = None
+            if isinstance(action, EmitAction):
+                emit = action
+            elif (isinstance(action, PromoteAction)
+                    and action.emit is not None):
+                emit = action.emit
+            if emit is not None and emit.plan is not None:
+                bad = dataclasses.replace(
+                    emit.plan, remote=False, local_uses=0
+                )
+                new_emit = EmitAction(emit.instr, emit.holes, bad)
+                count += 1
+                if isinstance(action, PromoteAction):
+                    new_actions.append(
+                        PromoteAction(action.point, new_emit)
+                    )
+                else:
+                    new_actions.append(new_emit)
+            else:
+                new_actions.append(action)
+        action_block.actions = new_actions
+        term = action_block.terminator
+        if isinstance(term, (TermDynamic, TermReturn)) \
+                and term.action.plan is not None:
+            bad = dataclasses.replace(
+                term.action.plan, remote=False, local_uses=0
+            )
+            new_action = EmitAction(
+                term.action.instr, term.action.holes, bad
+            )
+            action_block.terminator = type(term)(new_action)
+            count += 1
+    return count

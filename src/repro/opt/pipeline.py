@@ -5,7 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.errors import IRError
 from repro.ir.function import Function, Module
+from repro.ir.validate import verify_dataflow, verify_function
 from repro.opt.constprop import constant_propagation
 from repro.opt.copyprop import copy_propagation
 from repro.opt.cse import local_cse
@@ -30,11 +32,18 @@ DEFAULT_PASSES: tuple[Pass, ...] = (
 
 @dataclass
 class PassManager:
-    """Runs passes to a fixpoint and records how often each fired."""
+    """Runs passes to a fixpoint and records how often each fired.
+
+    With ``verify=True`` (the debug mode) the structural and dataflow
+    verifiers re-run after every pass that changed the function, so a
+    miscompiling pass is caught *at the pass boundary* — named in the
+    error — instead of surfacing later as a wrong answer in a workload.
+    """
 
     passes: tuple[Pass, ...] = DEFAULT_PASSES
     max_iterations: int = 20
     stats: dict[str, int] = field(default_factory=dict)
+    verify: bool = False
 
     def run(self, function: Function) -> bool:
         """Optimize ``function`` in place; True if anything changed."""
@@ -43,24 +52,41 @@ class PassManager:
             round_change = False
             for opt_pass in self.passes:
                 if opt_pass(function):
-                    name = opt_pass.__name__
+                    name = getattr(opt_pass, "__name__", repr(opt_pass))
                     self.stats[name] = self.stats.get(name, 0) + 1
                     round_change = True
+                    if self.verify:
+                        self._verify_after(function, name)
             if not round_change:
                 break
             any_change = True
         return any_change
 
+    @staticmethod
+    def _verify_after(function: Function, pass_name: str) -> None:
+        try:
+            verify_function(function)
+            verify_dataflow(function)
+        except IRError as exc:
+            raise IRError(
+                f"pass {pass_name!r} broke function "
+                f"{function.name!r}: {exc}"
+            ) from exc
 
-def optimize_function(function: Function) -> Function:
-    """Apply the standard pipeline to a function, in place."""
-    PassManager().run(function)
+
+def optimize_function(function: Function, debug: bool = False) -> Function:
+    """Apply the standard pipeline to a function, in place.
+
+    ``debug=True`` re-runs the IR verifiers between passes (see
+    :class:`PassManager`).
+    """
+    PassManager(verify=debug).run(function)
     return function
 
 
-def optimize_module(module: Module) -> Module:
+def optimize_module(module: Module, debug: bool = False) -> Module:
     """Apply the standard pipeline to every function in a module."""
-    manager = PassManager()
+    manager = PassManager(verify=debug)
     for function in module.functions.values():
         manager.run(function)
     return module

@@ -42,6 +42,46 @@ class TestCodeCache:
             assert result.hit and result.value == k * 10
         assert len(cache) == 50
 
+    def test_grow_rehashes_collision_clusters(self):
+        # Load a small table past any comfortable density, then grow:
+        # every entry — including the colliding ones — must rehash to a
+        # retrievable slot under the doubled size.
+        cache = CodeCache(initial_size=8, max_load_factor=0.95)
+        keys = [(k * 7919, 3) for k in range(7)]
+        for i, key in enumerate(keys):
+            cache.insert(key, i)
+        before = dict(cache.items())
+        cache._grow()
+        assert cache._size == 16
+        assert dict(cache.items()) == before
+        for i, key in enumerate(keys):
+            result = cache.lookup(key)
+            assert result.hit and result.value == i
+
+    def test_average_probes_after_growth(self):
+        cache = CodeCache(initial_size=4)
+        for k in range(100):
+            cache.insert((k,), k)
+        assert cache._size > 4  # grew several times on the way
+        for k in range(100):
+            assert cache.lookup((k,)).hit
+        assert cache.average_probes == pytest.approx(
+            cache.total_probes / cache.total_lookups
+        )
+        # Post-growth load factor is at most max_load, so the probe
+        # average stays near 1 instead of degrading with the insert count.
+        assert 1.0 <= cache.average_probes < 3.0
+
+    def test_growth_does_not_pollute_probe_stats(self):
+        # _grow re-inserts internally; dispatch statistics must only
+        # reflect real lookups, or measured dispatch costs would drift.
+        cache = CodeCache(initial_size=4)
+        for k in range(50):
+            cache.insert((k,), k)
+        assert cache.total_lookups == 0
+        assert cache.total_probes == 0
+        assert cache.average_probes == 0.0
+
     def test_probe_counting(self):
         cache = CodeCache()
         result = cache.lookup((9,))
@@ -113,6 +153,20 @@ class TestUncheckedCache:
         assert cache.lookup((1,)).hit
         with pytest.raises(CacheError, match="unsafe"):
             cache.lookup((2,))
+
+    def test_strict_mode_accepts_same_key(self):
+        cache = UncheckedCache(strict=True)
+        cache.insert((7, 8), "v")
+        for _ in range(3):
+            assert cache.lookup((7, 8)).value == "v"
+
+    def test_strict_mode_allows_explicit_refill(self):
+        # Only *lookups* with a changed key are the hazard; an explicit
+        # insert legitimately repoints the slot.
+        cache = UncheckedCache(strict=True)
+        cache.insert((1,), "a")
+        cache.insert((2,), "b")
+        assert cache.lookup((2,)).value == "b"
 
     def test_single_probe(self):
         cache = UncheckedCache()
