@@ -1,21 +1,31 @@
 """Shared fixtures for the benchmark harness.
 
 The expensive all-optimizations sweep over every workload is computed
-once per session and shared by the table benchmarks.
+once per session and shared by the table benchmarks.  The sweep honours
+the harness environment knobs: ``REPRO_BACKEND`` (execution backend,
+resolved inside ``run_workload``), ``REPRO_JOBS`` (process-pool width,
+resolved inside ``run_configs``), and ``REPRO_MEMO_DIR`` (opt-in result
+cache; memoization is off unless the variable is set, so benchmarks
+measure real runs by default).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config import ALL_ON
+from repro.evalharness.memo import Memoizer
 from repro.evalharness.tables import run_all
 
 
 @pytest.fixture(scope="session")
 def baseline_results():
     """Every workload, statically and dynamically, all optimizations on."""
-    return run_all(ALL_ON)
+    memo_dir = os.environ.get("REPRO_MEMO_DIR")
+    memo = Memoizer(memo_dir) if memo_dir else None
+    return run_all(ALL_ON, memo=memo)
 
 
 def render_and_attach(table, capsys=None) -> str:

@@ -49,7 +49,8 @@ class CompiledProgram:
                      icache: ICacheModel | None = None,
                      overhead=None,
                      tracked=frozenset(),
-                     step_limit: int = 500_000_000):
+                     step_limit: int = 500_000_000,
+                     backend: str = "reference"):
         """A machine + runtime pair ready to execute this program."""
         # Imported here: the runtime package imports the generating-
         # extension definitions from this package, so a module-level
@@ -65,6 +66,7 @@ class CompiledProgram:
             runtime=runtime,
             tracked=tracked,
             step_limit=step_limit,
+            backend=backend,
         )
         return machine, runtime
 

@@ -7,12 +7,30 @@
   point, overhead per generated instruction (§4.2's definitions);
 * :mod:`repro.evalharness.tables` — builders and text renderers for each
   table;
-* ``python -m repro.evalharness <table1|table2|table3|table4|table5|all>``
+* :mod:`repro.evalharness.memo` — content-hash memoization of run
+  results (backend-independent, since both backends produce
+  byte-identical statistics);
+* :mod:`repro.evalharness.parallel` — process-pool fan-out of runs
+  (``--jobs N``);
+* :mod:`repro.evalharness.bench` — wall-clock benchmark of the
+  reference vs. threaded execution backends (``BENCH_interp.json``);
+* ``python -m repro.evalharness <table1|…|table5|dispatch|all|bench>``
   regenerates them from scratch.
 """
 
+from repro.evalharness.bench import run_bench, write_bench
+from repro.evalharness.memo import Memoizer, memo_key
 from repro.evalharness.metrics import RegionMetrics, breakeven_point
-from repro.evalharness.runner import RunResult, run_workload
+from repro.evalharness.parallel import (
+    resolve_jobs,
+    run_ablations,
+    run_configs,
+)
+from repro.evalharness.runner import (
+    RunResult,
+    resolve_backend,
+    run_workload,
+)
 from repro.evalharness.tables import (
     build_table1,
     build_table2,
@@ -20,6 +38,7 @@ from repro.evalharness.tables import (
     build_table4,
     build_table5,
     render_table,
+    run_all,
 )
 
 __all__ = [
@@ -27,6 +46,15 @@ __all__ = [
     "breakeven_point",
     "RunResult",
     "run_workload",
+    "resolve_backend",
+    "Memoizer",
+    "memo_key",
+    "resolve_jobs",
+    "run_configs",
+    "run_ablations",
+    "run_bench",
+    "write_bench",
+    "run_all",
     "build_table1",
     "build_table2",
     "build_table3",

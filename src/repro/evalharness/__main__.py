@@ -1,15 +1,37 @@
 """Regenerate the paper's tables: ``python -m repro.evalharness [what]``.
 
 ``what`` is one of ``table1`` … ``table5``, ``dispatch`` (the §4.4.3
-dispatch-cost measurements), or ``all`` (default).
+dispatch-cost measurements), ``all`` (default), or ``bench`` (wall-clock
+comparison of the two execution backends, written to
+``BENCH_interp.json``).
+
+Shared flags::
+
+    --backend {reference,threaded}   execution backend (default: threaded,
+                                     or $REPRO_BACKEND)
+    --jobs N                         fan runs out over N worker processes
+                                     (0 = one per CPU; default $REPRO_JOBS
+                                     or serial)
+    --no-memo                        disable the content-hash result cache
+    --memo-dir DIR                   cache directory (default .repro_memo,
+                                     or $REPRO_MEMO_DIR)
+
+``bench``-only flags: ``--output PATH`` and ``--repeat N``.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
 
-from repro.config import ALL_ON
+from repro.evalharness.bench import (
+    DEFAULT_BENCH_PATH,
+    run_bench,
+    write_bench,
+)
+from repro.evalharness.memo import Memoizer
 from repro.evalharness.tables import (
     Table,
     build_table1,
@@ -20,7 +42,11 @@ from repro.evalharness.tables import (
     render_table,
     run_all,
 )
+from repro.machine import BACKENDS
 from repro.workloads import APPLICATIONS
+
+TARGETS = ("table1", "table2", "table3", "table4", "table5",
+           "dispatch", "all", "bench")
 
 
 def _emit(table: Table) -> None:
@@ -50,42 +76,85 @@ def build_dispatch_table(results) -> Table:
     return table
 
 
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evalharness",
+        description="Reproduce the paper's tables / benchmark the "
+                    "interpreter backends.",
+    )
+    parser.add_argument("what", nargs="?", default="all",
+                        choices=TARGETS,
+                        help="which table (or sweep) to build")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="execution backend (default: $REPRO_BACKEND "
+                             "or threaded)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (0 = one per CPU; "
+                             "default: $REPRO_JOBS or serial)")
+    parser.add_argument("--no-memo", action="store_true",
+                        help="disable the content-hash result cache")
+    parser.add_argument("--memo-dir", default=None, metavar="DIR",
+                        help="result-cache directory (default: "
+                             "$REPRO_MEMO_DIR or .repro_memo)")
+    parser.add_argument("--output", default=DEFAULT_BENCH_PATH,
+                        metavar="PATH",
+                        help="bench only: where to write the JSON report")
+    parser.add_argument("--repeat", type=int, default=3, metavar="N",
+                        help="bench only: timing repetitions per "
+                             "measurement (best-of; default 3)")
+    return parser.parse_args(argv)
+
+
+def _bench(args: argparse.Namespace) -> int:
+    report = run_bench(repeat=args.repeat)
+    write_bench(report, args.output)
+    print(json.dumps(report["backends"], indent=2))
+    print(f"speedup (reference/threaded): {report['speedup']}x")
+    print(f"report written to {args.output}")
+    if not report["checksums_match"]:
+        print("ERROR: backend execution statistics diverged "
+              "(stats_checksum mismatch)", file=sys.stderr)
+        return 1
+    print("backend statistics checksums match")
+    return 0
+
+
 def main(argv: list[str]) -> int:
-    what = argv[0] if argv else "all"
+    args = _parse_args(argv)
     start = time.time()
 
-    if what in ("table1", "all"):
+    if args.what == "bench":
+        return _bench(args)
+
+    memo = None if args.no_memo else Memoizer(args.memo_dir)
+    kwargs = dict(jobs=args.jobs, memo=memo, backend=args.backend)
+
+    if args.what in ("table1", "all"):
         _emit(build_table1())
-    if what in ("table2", "table3", "table4", "dispatch", "all"):
-        results = run_all(ALL_ON)
-        if what in ("table2", "all"):
+    if args.what in ("table2", "table3", "table4", "dispatch", "all"):
+        results = run_all(**kwargs)
+        if args.what in ("table2", "all"):
             _emit(build_table2(results))
-        if what in ("table3", "all"):
+        if args.what in ("table3", "all"):
             _emit(build_table3(results))
-        if what in ("table4", "all"):
+        if args.what in ("table4", "all"):
             app_results = {
                 w.name: results[w.name] for w in APPLICATIONS
             }
             _emit(build_table4(app_results))
-        if what in ("dispatch", "all"):
+        if args.what in ("dispatch", "all"):
             _emit(build_dispatch_table(results))
-        if what in ("table5", "all"):
-            def progress(workload: str, ablation: str) -> None:
-                print(f"  [table5] {workload} without {ablation} ...",
-                      file=sys.stderr)
-            _emit(build_table5(results, progress=progress))
-    elif what == "table5":
-        def progress(workload: str, ablation: str) -> None:
-            print(f"  [table5] {workload} without {ablation} ...",
-                  file=sys.stderr)
-        _emit(build_table5(progress=progress))
-    elif what not in ("table1",):
-        print(f"unknown target {what!r}; use table1..table5, "
-              "dispatch, or all", file=sys.stderr)
-        return 2
+        if args.what == "all":
+            _emit(build_table5(results, progress=_progress, **kwargs))
+    elif args.what == "table5":
+        _emit(build_table5(progress=_progress, **kwargs))
 
     print(f"\n[{time.time() - start:.1f}s]", file=sys.stderr)
     return 0
+
+
+def _progress(workload: str, ablation: str) -> None:
+    print(f"  [table5] {workload} without {ablation}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,129 @@
+"""Wall-clock benchmark of the reference vs. threaded backends.
+
+``python -m repro.evalharness bench`` runs every workload's static and
+dynamic executions under both backends, sharing one compiled program per
+workload across backends so only *execution* time is compared, and writes
+``BENCH_interp.json`` with per-workload and aggregate wall-clock seconds,
+the speedup factor, and a SHA-256 checksum over each backend's full
+execution statistics.  A checksum mismatch means the backends diverged —
+the CLI (and CI) treat that as a hard failure.
+
+Note this benchmarks the *interpreter itself* (host-Python seconds spent
+simulating the abstract machine), not the simulated cycle counts the
+tables report — those are identical across backends by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+
+from repro.config import ALL_ON, OptConfig
+from repro.dyc import compile_annotated, compile_static
+from repro.evalharness.runner import _machine_kwargs
+from repro.frontend import compile_source
+from repro.ir import Memory
+from repro.machine import ALPHA_21164, BACKENDS, Machine
+from repro.runtime.overhead import DEFAULT_OVERHEAD
+from repro.workloads import ALL_WORKLOADS
+
+DEFAULT_BENCH_PATH = "BENCH_interp.json"
+
+
+def _execute(workload, static_module, compiled, backend: str):
+    """One timed static + dynamic execution; returns (seconds, stats)."""
+    tracked = frozenset(workload.region_functions)
+    kwargs = _machine_kwargs(workload, ALPHA_21164, backend)
+
+    static_memory = Memory()
+    static_input = workload.setup(static_memory)
+    static_machine = Machine(static_module, memory=static_memory,
+                             tracked=tracked, **kwargs)
+    dynamic_memory = Memory()
+    dynamic_input = workload.setup(dynamic_memory)
+    dynamic_machine, _runtime = compiled.make_machine(
+        memory=dynamic_memory, tracked=tracked,
+        overhead=DEFAULT_OVERHEAD, **kwargs,
+    )
+
+    start = time.perf_counter()
+    static_result = static_machine.run(workload.entry,
+                                       *static_input.args)
+    dynamic_result = dynamic_machine.run(workload.entry,
+                                         *dynamic_input.args)
+    seconds = time.perf_counter() - start
+
+    stat = static_machine.stats
+    dyn = dynamic_machine.stats
+    fingerprint = (
+        workload.name,
+        stat.cycles, stat.instructions,
+        dyn.cycles, dyn.instructions, dyn.dc_cycles,
+        dyn.dispatch_cycles, dyn.dispatches,
+        sorted(dyn.scope_cycles.items()),
+        sorted(dyn.scope_entries.items()),
+        static_result, dynamic_result,
+    )
+    cycles = stat.cycles + dyn.cycles + dyn.dc_cycles
+    return seconds, fingerprint, cycles
+
+
+def run_bench(workloads=ALL_WORKLOADS,
+              config: OptConfig = ALL_ON,
+              repeat: int = 3) -> dict:
+    """Benchmark every backend over ``workloads``; return the report."""
+    per_workload: dict[str, dict] = {}
+    totals = {backend: 0.0 for backend in BACKENDS}
+    hashers = {backend: hashlib.sha256() for backend in BACKENDS}
+    total_cycles = {backend: 0.0 for backend in BACKENDS}
+
+    for workload in workloads:
+        module = compile_source(workload.source)
+        static_module = compile_static(module)
+        compiled = compile_annotated(module, config)
+        entry: dict[str, float] = {}
+        for backend in BACKENDS:
+            best = None
+            for _ in range(max(1, repeat)):
+                seconds, fingerprint, cycles = _execute(
+                    workload, static_module, compiled, backend
+                )
+                best = seconds if best is None else min(best, seconds)
+            hashers[backend].update(repr(fingerprint).encode("utf-8"))
+            total_cycles[backend] += cycles
+            totals[backend] += best
+            entry[f"{backend}_seconds"] = round(best, 6)
+        entry["speedup"] = round(
+            entry["reference_seconds"] / max(entry["threaded_seconds"],
+                                             1e-12), 3)
+        per_workload[workload.name] = entry
+
+    checksums = {b: hashers[b].hexdigest() for b in BACKENDS}
+    report = {
+        "schema": 1,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repeat": repeat,
+        "workloads": per_workload,
+        "backends": {
+            backend: {
+                "seconds": round(totals[backend], 6),
+                "cycles": total_cycles[backend],
+                "stats_checksum": checksums[backend],
+            }
+            for backend in BACKENDS
+        },
+        "speedup": round(
+            totals["reference"] / max(totals["threaded"], 1e-12), 3),
+        "checksums_match": len(set(checksums.values())) == 1,
+    }
+    return report
+
+
+def write_bench(report: dict, path: str = DEFAULT_BENCH_PATH) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")

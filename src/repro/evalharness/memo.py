@@ -1,0 +1,161 @@
+"""Content-hash memoization of (workload, config, cost model) runs.
+
+Every quantity in a :class:`~repro.evalharness.runner.RunResult` is a
+deterministic function of the workload program text, its prepared inputs,
+the optimization configuration, and the cost/overhead models — the
+execution *backend* explicitly is not part of the key, because the two
+backends produce byte-identical statistics (enforced by
+``tests/test_threaded_backend.py``).  The memoizer therefore keys cached
+results on a SHA-256 of exactly those inputs, so re-running tables (or the
+full ``all`` sweep) only recomputes runs whose inputs actually changed.
+
+Cache entries are one pickle file per key, written atomically
+(temp file + ``os.replace``) so concurrent ``--jobs`` workers can share a
+cache directory without locking: the worst case is two workers computing
+the same run and one ``replace`` winning, which is harmless.
+
+Deterministic specialization failures (``SpecializationError``, e.g. mipsi
+without static loads exceeding the context budget) are memoized too — as a
+small error marker rather than a result — so Table 5's fallback logic does
+not re-pay the failed specialization on a warm cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+
+from repro.config import OptConfig
+from repro.errors import SpecializationError
+from repro.ir import Memory
+from repro.machine.costs import CostModel
+from repro.runtime.overhead import OverheadModel
+from repro.workloads import WORKLOADS_BY_NAME
+from repro.workloads.base import Workload
+
+#: Bump when the RunResult layout or the fingerprint recipe changes;
+#: stale entries from older schemas simply never match.
+_SCHEMA = 1
+
+#: Default cache directory (relative to the current working directory)
+#: when none is given explicitly or via ``REPRO_MEMO_DIR``.
+DEFAULT_MEMO_DIR = ".repro_memo"
+
+
+def resolve_memo_dir(directory: str | None) -> str:
+    """Resolve a memo directory choice (explicit > env > default)."""
+    if directory is None:
+        directory = os.environ.get("REPRO_MEMO_DIR") or DEFAULT_MEMO_DIR
+    return directory
+
+
+def _fingerprint_inputs(workload: Workload) -> str:
+    """Deterministic description of the workload's prepared inputs.
+
+    Runs the workload's ``setup`` on a fresh memory and captures both the
+    entry arguments and the full memory image.  ``repr`` round-trips ints
+    and floats exactly, so this is a byte-level fingerprint.
+    """
+    memory = Memory()
+    inp = workload.setup(memory)
+    has_checksum = inp.checksum is not None
+    return repr((tuple(inp.args), has_checksum, memory.words()))
+
+
+def memo_key(workload: Workload,
+             config: OptConfig,
+             cost_model: CostModel,
+             overhead: OverheadModel,
+             verify: bool = True) -> str:
+    """SHA-256 key over everything that determines a run's statistics."""
+    hasher = hashlib.sha256()
+
+    def feed(part: object) -> None:
+        hasher.update(repr(part).encode("utf-8"))
+        hasher.update(b"\x00")
+
+    feed(_SCHEMA)
+    feed(workload.name)
+    feed(workload.source)
+    feed(workload.entry)
+    feed(tuple(workload.region_functions))
+    feed(workload.icache_capacity_bytes)
+    feed(_fingerprint_inputs(workload))
+    feed(sorted(dataclasses.asdict(config).items()))
+    feed(sorted(dataclasses.asdict(cost_model).items()))
+    feed(sorted(dataclasses.asdict(overhead).items()))
+    feed(verify)
+    return hasher.hexdigest()
+
+
+class Memoizer:
+    """A directory of pickled run results keyed by content hash."""
+
+    def __init__(self, directory: str | None = None):
+        self.directory = resolve_memo_dir(directory)
+
+    # -- key construction ------------------------------------------------
+
+    key_for = staticmethod(memo_key)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    # -- load ------------------------------------------------------------
+
+    def get(self, key: str):
+        """Return the cached RunResult for ``key``, raise a cached
+        :class:`SpecializationError`, or return ``None`` on a miss."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+            return None
+        if "error" in payload:
+            raise SpecializationError(payload["error"])
+        fields = payload.get("result")
+        if not isinstance(fields, dict):
+            return None
+        workload = WORKLOADS_BY_NAME.get(fields.get("workload"))
+        if workload is None:
+            return None
+        from repro.evalharness.runner import RunResult
+        try:
+            return RunResult(**{**fields, "workload": workload})
+        except TypeError:
+            return None
+
+    # -- store -----------------------------------------------------------
+
+    def _write(self, key: str, payload: dict) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def put(self, key: str, result) -> None:
+        """Cache a RunResult (the Workload is stored by name)."""
+        fields = {
+            f.name: getattr(result, f.name)
+            for f in dataclasses.fields(result)
+        }
+        fields["workload"] = result.workload.name
+        self._write(key, {"schema": _SCHEMA, "result": fields})
+
+    def put_error(self, key: str, error: SpecializationError) -> None:
+        """Cache a deterministic specialization failure."""
+        self._write(key, {"schema": _SCHEMA, "error": str(error)})

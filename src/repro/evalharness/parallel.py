@@ -1,0 +1,161 @@
+"""Process-pool fan-out of workload runs (``--jobs N``).
+
+Each run of one (workload, config) pair is an independent, deterministic
+computation, so the harness can farm runs out to worker processes.  The
+workers are plain top-level functions taking picklable task tuples —
+workloads travel by *name* (rehydrated from ``WORKLOADS_BY_NAME`` in the
+worker) and results travel back with the workload field replaced by its
+name, because :class:`~repro.workloads.base.Workload` carries setup and
+checksum callables that may not pickle.
+
+``jobs <= 1`` runs every task serially in-process through the exact same
+worker functions, so the two paths cannot drift apart behaviourally.
+Workers share the memo cache directory (if any); its atomic writes make
+that safe without locking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.config import ALL_ON, OptConfig
+from repro.errors import SpecializationError
+from repro.evalharness.memo import Memoizer
+from repro.evalharness.runner import RunResult, run_workload
+from repro.workloads import WORKLOADS_BY_NAME
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Resolve a worker-count choice.
+
+    ``None`` falls back to the ``REPRO_JOBS`` environment variable, then
+    to 1 (serial).  ``0`` means "one worker per CPU".
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        jobs = int(env) if env else 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Result transport
+# ----------------------------------------------------------------------
+
+def _pack(result: RunResult) -> dict:
+    fields = {
+        f.name: getattr(result, f.name)
+        for f in dataclasses.fields(result)
+    }
+    fields["workload"] = result.workload.name
+    return fields
+
+
+def _unpack(fields: dict) -> RunResult:
+    workload = WORKLOADS_BY_NAME[fields["workload"]]
+    return RunResult(**{**fields, "workload": workload})
+
+
+# ----------------------------------------------------------------------
+# Worker functions (must be top-level for pickling)
+# ----------------------------------------------------------------------
+
+def _run_config_task(task) -> dict:
+    """Worker: run one workload under one configuration."""
+    name, config, backend, memo_dir = task
+    workload = WORKLOADS_BY_NAME[name]
+    memo = Memoizer(memo_dir) if memo_dir is not None else None
+    return _pack(run_workload(workload, config, backend=backend,
+                              memo=memo))
+
+
+def _run_ablation_task(task) -> tuple[dict, bool]:
+    """Worker: run one single-ablation configuration for Table 5.
+
+    Mirrors the fallback in :func:`repro.evalharness.tables.build_table5`:
+    if the ablation alone makes specialization diverge, additionally
+    disable complete loop unrolling and star the result.
+    """
+    name, ablation, backend, memo_dir = task
+    workload = WORKLOADS_BY_NAME[name]
+    memo = Memoizer(memo_dir) if memo_dir is not None else None
+    try:
+        result = run_workload(workload, ALL_ON.without(ablation),
+                              backend=backend, memo=memo)
+        starred = False
+    except SpecializationError:
+        result = run_workload(
+            workload, ALL_ON.without(ablation, "complete_loop_unrolling"),
+            backend=backend, memo=memo,
+        )
+        starred = True
+    return _pack(result), starred
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+
+def _map_tasks(worker, payloads, jobs: int | None, on_done=None) -> list:
+    """Run ``worker`` over ``payloads``, preserving input order."""
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(payloads) <= 1:
+        out = []
+        for index, payload in enumerate(payloads):
+            out.append(worker(payload))
+            if on_done is not None:
+                on_done(index)
+        return out
+    results: list = [None] * len(payloads)
+    workers = min(jobs, len(payloads))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(worker, payload): index
+            for index, payload in enumerate(payloads)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            results[index] = future.result()
+            if on_done is not None:
+                on_done(index)
+    return results
+
+
+def run_configs(tasks: list[tuple[str, OptConfig]],
+                jobs: int | None = None,
+                backend: str | None = None,
+                memo: Memoizer | None = None,
+                progress=None) -> list[RunResult]:
+    """Run (workload name, config) tasks, possibly in parallel."""
+    memo_dir = memo.directory if memo is not None else None
+    payloads = [(name, config, backend, memo_dir)
+                for name, config in tasks]
+    on_done = None
+    if progress is not None:
+        on_done = lambda index: progress(*tasks[index])  # noqa: E731
+    packed = _map_tasks(_run_config_task, payloads, jobs, on_done)
+    return [_unpack(fields) for fields in packed]
+
+
+def run_ablations(tasks: list[tuple[str, str]],
+                  jobs: int | None = None,
+                  backend: str | None = None,
+                  memo: Memoizer | None = None,
+                  progress=None) -> list[tuple[RunResult, bool]]:
+    """Run (workload name, ablation) tasks for Table 5.
+
+    Returns ``(result, starred)`` per task, aligned with the input.
+    """
+    memo_dir = memo.directory if memo is not None else None
+    payloads = [(name, ablation, backend, memo_dir)
+                for name, ablation in tasks]
+    on_done = None
+    if progress is not None:
+        on_done = lambda index: progress(*tasks[index])  # noqa: E731
+    packed = _map_tasks(_run_ablation_task, payloads, jobs, on_done)
+    return [(_unpack(fields), starred) for fields, starred in packed]

@@ -10,11 +10,12 @@ invocation count, mirroring the paper's measurement methodology (§3.3).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.config import ALL_ON, OptConfig
 from repro.dyc import compile_annotated, compile_static
-from repro.errors import ReproError
+from repro.errors import ReproError, SpecializationError
 from repro.evalharness.metrics import RegionMetrics
 from repro.frontend import compile_source
 from repro.ir import Memory, Module
@@ -111,13 +112,28 @@ class RunResult:
         ]
 
 
-def _machine_kwargs(workload: Workload, cost_model: CostModel):
+def _machine_kwargs(workload: Workload, cost_model: CostModel,
+                    backend: str):
     icache = None
     if workload.icache_capacity_bytes is not None:
         icache = ICacheModel(
             capacity_bytes=workload.icache_capacity_bytes
         )
-    return dict(cost_model=cost_model, icache=icache)
+    return dict(cost_model=cost_model, icache=icache, backend=backend)
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Resolve an execution backend choice.
+
+    ``None`` falls back to the ``REPRO_BACKEND`` environment variable,
+    then to the fast threaded backend (the two backends produce
+    byte-identical stats, so the harness defaults to the fast one).
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND") or "threaded"
+    if backend not in ("reference", "threaded"):
+        raise ValueError(f"unknown backend {backend!r}")
+    return backend
 
 
 def run_workload(workload: Workload,
@@ -125,8 +141,32 @@ def run_workload(workload: Workload,
                  cost_model: CostModel = ALPHA_21164,
                  overhead: OverheadModel = DEFAULT_OVERHEAD,
                  module: Module | None = None,
-                 verify: bool = True) -> RunResult:
-    """Execute ``workload`` statically and dynamically; return metrics."""
+                 verify: bool = True,
+                 backend: str | None = None,
+                 memo=None) -> RunResult:
+    """Execute ``workload`` statically and dynamically; return metrics.
+
+    With a :class:`~repro.evalharness.memo.Memoizer` in ``memo``, the run
+    (or its deterministic :class:`SpecializationError`) is served from and
+    stored to the content-hash cache.  The backend is deliberately not
+    part of the cache key: both backends produce byte-identical stats.
+    """
+    backend = resolve_backend(backend)
+    if memo is not None and module is None:
+        key = memo.key_for(workload, config, cost_model, overhead, verify)
+        cached = memo.get(key)   # raises cached SpecializationError
+        if cached is not None:
+            return cached
+        try:
+            result = run_workload(
+                workload, config, cost_model, overhead,
+                verify=verify, backend=backend,
+            )
+        except SpecializationError as err:
+            memo.put_error(key, err)
+            raise
+        memo.put(key, result)
+        return result
     if module is None:
         module = compile_source(workload.source)
     tracked = frozenset(workload.region_functions)
@@ -137,7 +177,7 @@ def run_workload(workload: Workload,
     static_input = workload.setup(static_memory)
     static_machine = Machine(
         static_module, memory=static_memory, tracked=tracked,
-        **_machine_kwargs(workload, cost_model),
+        **_machine_kwargs(workload, cost_model, backend),
     )
     static_result = static_machine.run(workload.entry,
                                        *static_input.args)
@@ -148,7 +188,7 @@ def run_workload(workload: Workload,
     dynamic_input = workload.setup(dynamic_memory)
     dynamic_machine, runtime = compiled.make_machine(
         memory=dynamic_memory, tracked=tracked, overhead=overhead,
-        **_machine_kwargs(workload, cost_model),
+        **_machine_kwargs(workload, cost_model, backend),
     )
     dynamic_result = dynamic_machine.run(workload.entry,
                                          *dynamic_input.args)

@@ -7,11 +7,10 @@ from dataclasses import dataclass, field
 
 from repro.config import ALL_ON, OptConfig, TABLE5_ABLATIONS
 from repro.dyc import compile_annotated
-from repro.errors import SpecializationError
-from repro.evalharness.runner import RunResult, run_workload
+from repro.evalharness.parallel import run_ablations, run_configs
+from repro.evalharness.runner import RunResult
 from repro.frontend import compile_source
 from repro.workloads import ALL_WORKLOADS, APPLICATIONS
-from repro.workloads.base import Workload
 
 
 @dataclass
@@ -228,49 +227,58 @@ def applicable_ablations(result: RunResult, function: str) -> list[str]:
 
 
 def build_table5(baseline: dict[str, RunResult] | None = None,
-                 progress=None) -> Table:
-    """Run every applicable single-optimization ablation (Table 5)."""
+                 progress=None,
+                 jobs: int | None = None,
+                 memo=None,
+                 backend: str | None = None) -> Table:
+    """Run every applicable single-optimization ablation (Table 5).
+
+    Some ablations make unbounded specialization possible (mipsi without
+    static loads cannot read the program it is unrolling over); those
+    fall back to additionally disabling complete loop unrolling — the
+    paper's cells for these cases coincide with the no-unrolling column —
+    and the cell is starred.  The fallback lives in the ablation worker
+    (:func:`repro.evalharness.parallel._run_ablation_task`) so it behaves
+    identically in serial and ``--jobs N`` runs.
+    """
     if baseline is None:
-        baseline = run_all(ALL_ON)
+        baseline = run_all(ALL_ON, jobs=jobs, memo=memo, backend=backend)
     table = Table(
         title="Table 5: Region Speedups without a Particular Feature",
         headers=(["Dynamic Region", "All Opts"]
                  + [TABLE5_HEADERS[name] for name in TABLE5_ABLATIONS]),
     )
     # Determine, per workload, the union of applicable ablations so each
-    # configuration is compiled and run once per workload.
+    # configuration is compiled and run once per workload; then fan the
+    # whole (workload, ablation) task list out in one batch.
+    per_workload: dict[str, dict[str, list[str]]] = {}
+    tasks: list[tuple[str, str]] = []
     for workload in ALL_WORKLOADS:
         base = baseline[workload.name]
         per_function = {
             name: applicable_ablations(base, name)
             for name in workload.region_functions
         }
+        per_workload[workload.name] = per_function
         needed = sorted(
             {a for ablist in per_function.values() for a in ablist},
             key=TABLE5_ABLATIONS.index,
         )
+        tasks.extend((workload.name, ablation) for ablation in needed)
+    outcomes = run_ablations(tasks, jobs=jobs, backend=backend,
+                             memo=memo, progress=progress)
+    by_task = dict(zip(tasks, outcomes))
+
+    for workload in ALL_WORKLOADS:
+        base = baseline[workload.name]
+        per_function = per_workload[workload.name]
         ablated: dict[str, RunResult] = {}
         starred: set[str] = set()
-        module = compile_source(workload.source)
-        for ablation in needed:
-            if progress is not None:
-                progress(workload.name, ablation)
-            try:
-                ablated[ablation] = run_workload(
-                    workload, ALL_ON.without(ablation), module=module
-                )
-            except SpecializationError:
-                # Some ablations make unbounded specialization possible
-                # (mipsi without static loads cannot read the program it
-                # is unrolling over).  Fall back to additionally
-                # disabling complete loop unrolling — the paper's cells
-                # for these cases coincide with the no-unrolling column —
-                # and star the cell.
-                ablated[ablation] = run_workload(
-                    workload,
-                    ALL_ON.without(ablation, "complete_loop_unrolling"),
-                    module=module,
-                )
+        for (name, ablation), (result, star) in by_task.items():
+            if name != workload.name:
+                continue
+            ablated[ablation] = result
+            if star:
                 starred.add(ablation)
         base_metrics = {
             m.region_label: m for m in base.region_metrics()
@@ -300,9 +308,19 @@ def build_table5(baseline: dict[str, RunResult] | None = None,
 # ----------------------------------------------------------------------
 
 def run_all(config: OptConfig = ALL_ON,
-            workloads=ALL_WORKLOADS) -> dict[str, RunResult]:
-    """Run every workload once under ``config``."""
+            workloads=ALL_WORKLOADS,
+            jobs: int | None = None,
+            memo=None,
+            backend: str | None = None) -> dict[str, RunResult]:
+    """Run every workload once under ``config``.
+
+    ``jobs`` fans runs out over a process pool (``None`` → serial unless
+    ``REPRO_JOBS`` is set); ``memo`` is an optional
+    :class:`~repro.evalharness.memo.Memoizer` shared by all workers.
+    """
+    tasks = [(workload.name, config) for workload in workloads]
+    results = run_configs(tasks, jobs=jobs, backend=backend, memo=memo)
     return {
-        workload.name: run_workload(workload, config)
-        for workload in workloads
+        workload.name: result
+        for workload, result in zip(workloads, results)
     }

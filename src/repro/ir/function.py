@@ -61,6 +61,16 @@ class Function:
     params: tuple[str, ...]
     blocks: dict[str, BasicBlock] = field(default_factory=dict)
     entry: str | None = None
+    #: Code-buffer version, bumped whenever already-executed code is
+    #: patched in place (the specializer threading jumps or adding lazily
+    #: specialized blocks).  Translation caches — e.g. the direct-threaded
+    #: backend in :mod:`repro.machine.threaded` — key on it to know when
+    #: their compiled closures are stale.
+    version: int = 0
+
+    def bump_version(self) -> None:
+        """Invalidate any cached translations of this function's code."""
+        self.version += 1
 
     def add_block(self, block: BasicBlock) -> BasicBlock:
         if block.label in self.blocks:

@@ -77,6 +77,14 @@ class Memory:
             )
         return addr
 
+    def words(self) -> tuple[Word, ...]:
+        """Immutable snapshot of the entire memory contents.
+
+        Used by the eval-harness memoizer to fingerprint a workload's
+        prepared inputs.
+        """
+        return tuple(self._words)
+
     def load(self, addr: Word) -> Word:
         return self._words[self._check(addr)]
 

@@ -11,7 +11,8 @@ asymptotic-speedup / break-even / overhead-per-instruction metrics.
 from repro.machine.costs import CostModel, ALPHA_21164
 from repro.machine.icache import ICacheModel
 from repro.machine.intrinsics import INTRINSICS, Intrinsic
-from repro.machine.interp import Machine, ExecutionStats
+from repro.machine.interp import BACKENDS, Machine, ExecutionStats
+from repro.machine.threaded import ThreadedBackend
 
 __all__ = [
     "CostModel",
@@ -19,6 +20,8 @@ __all__ = [
     "ICacheModel",
     "INTRINSICS",
     "Intrinsic",
+    "BACKENDS",
     "Machine",
     "ExecutionStats",
+    "ThreadedBackend",
 ]

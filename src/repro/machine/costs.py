@@ -94,3 +94,40 @@ class CostModel:
 
 #: The default cost model used throughout the evaluation.
 ALPHA_21164 = CostModel()
+
+
+# ----------------------------------------------------------------------
+# Shared charge terms
+# ----------------------------------------------------------------------
+#
+# Both execution backends (the reference interpreter and the direct-
+# threaded translator) charge each instruction as a *base term* — the
+# integer-typed cost, scheduling-scaled, plus the I-cache penalty — and,
+# for value-dependent instructions, an *fp extra* added only when the
+# operands turn out to be floats at run time.  The reference evaluates
+# these expressions per executed instruction; the threaded backend
+# evaluates them once at translation time.  Routing both through the same
+# functions guarantees the floats are bit-identical, which is what makes
+# the backends' ExecutionStats byte-equal.
+
+def flat_term(cost: int, scale: float, penalty: float) -> float:
+    """Charge term for an instruction whose cost is type-independent."""
+    return cost * scale + penalty
+
+
+def binop_terms(costs: CostModel, op_name: str, scale: float,
+                penalty: float) -> tuple[float, float]:
+    """(base term, fp extra) for a ``BinOp`` (or, with ``"alu"``, a
+    ``UnOp``)."""
+    int_cost = costs.binop_cost(op_name, False)
+    base = int_cost * scale + penalty
+    extra = (costs.binop_cost(op_name, True) - int_cost) * scale
+    return base, extra
+
+
+def move_terms(costs: CostModel, scale: float,
+               penalty: float) -> tuple[float, float]:
+    """(base term, fp extra) for a register-to-register ``Move``."""
+    base = costs.move_int * scale + penalty
+    extra = (costs.move_fp - costs.move_int) * scale
+    return base, extra

@@ -18,6 +18,25 @@ Cycle accounts
     inclusive cycles attributed to tracked scopes (the dynamically
     compiled functions of Table 1), used for dynamic-region timings and
     Table 4's percent-of-execution measurements.
+
+Execution backends
+------------------
+
+Two backends execute the same IR with **bit-identical** accounting:
+
+``backend="reference"``
+    the per-instruction interpreter below — the executable specification.
+``backend="threaded"``
+    :mod:`repro.machine.threaded` — a direct-threaded translation to
+    chained Python closures with cost-model lookups and operand decoding
+    folded in at translation time.  Several times faster; used by the
+    evaluation harness for large sweeps.
+
+Both backends charge cycles with the same *segment* discipline: costs of a
+straight-line run of instructions (a block, or a block prefix up to a
+``Call``) are summed locally and committed to ``stats.cycles`` in one
+addition at the segment boundary.  Keeping the float-addition order
+identical is what makes the two backends' ``ExecutionStats`` byte-equal.
 """
 
 from __future__ import annotations
@@ -48,9 +67,39 @@ from repro.ir.instructions import (
     UnOp,
 )
 from repro.ir.memory import Memory
-from repro.machine.costs import ALPHA_21164, CostModel
+from repro.machine.costs import (
+    ALPHA_21164,
+    CostModel,
+    binop_terms,
+    flat_term,
+    move_terms,
+)
 from repro.machine.icache import ICacheModel
 from repro.machine.intrinsics import INTRINSICS
+
+#: Recursion headroom for nested IR calls: each IR-level call nests several
+#: Python frames, so the machine's own depth guard must fire before
+#: CPython's recursion limit does.
+_RECURSION_HEADROOM = 20_000
+
+_recursion_guard_done = False
+
+
+def _ensure_recursion_headroom() -> None:
+    """Raise the process recursion limit once, the first time a machine is
+    built.  A module-level one-shot guard: constructing machines is a hot
+    path for the harness (two per workload run plus compile-time machines)
+    and ``sys.setrecursionlimit`` mutates global interpreter state."""
+    global _recursion_guard_done
+    if _recursion_guard_done:
+        return
+    if sys.getrecursionlimit() < _RECURSION_HEADROOM:
+        sys.setrecursionlimit(_RECURSION_HEADROOM)
+    _recursion_guard_done = True
+
+
+#: Execution backends accepted by :class:`Machine`.
+BACKENDS = ("reference", "threaded")
 
 
 @dataclass
@@ -93,6 +142,9 @@ class Machine:
     tracked:
         Names of functions whose inclusive cycles should be attributed in
         ``stats.scope_cycles`` (the paper's dynamic-region timings).
+    backend:
+        ``"reference"`` (per-instruction interpreter) or ``"threaded"``
+        (direct-threaded closure translation; same stats, much faster).
     """
 
     def __init__(
@@ -104,6 +156,7 @@ class Machine:
         runtime=None,
         tracked: frozenset[str] | set[str] = frozenset(),
         step_limit: int = 500_000_000,
+        backend: str = "reference",
     ) -> None:
         self.module = module
         self.memory = memory if memory is not None else Memory()
@@ -119,34 +172,63 @@ class Machine:
         self.output: list = []
         self._steps = 0
         self._active_scopes: dict[str, int] = {}
+        #: tracked scope name -> stats.cycles at outermost entry.
+        self._scope_entry_cycles: dict[str, float] = {}
         self._call_depth = 0
         self._max_call_depth = 200
-        # Each IR-level call nests several Python frames; make sure our own
-        # depth guard fires before CPython's recursion limit does.
-        if sys.getrecursionlimit() < 20_000:
-            sys.setrecursionlimit(20_000)
+        if backend not in BACKENDS:
+            raise MachineError(
+                f"unknown backend {backend!r} (expected one of {BACKENDS})"
+            )
+        self.backend = backend
+        if backend == "threaded":
+            # Imported here so the reference interpreter has no load-time
+            # dependency on its replacement.
+            from repro.machine.threaded import ThreadedBackend
+
+            self._backend = ThreadedBackend(self)
+        else:
+            self._backend = None
+        _ensure_recursion_headroom()
 
     # ------------------------------------------------------------------
     # Cycle accounting
     # ------------------------------------------------------------------
 
     def charge(self, cycles: float) -> None:
-        """Add execution cycles (and attribute to active tracked scopes)."""
+        """Add execution cycles.
+
+        Attribution to tracked scopes happens by cycle-counter snapshot
+        deltas at scope exit (see :meth:`_call_function`), so this hot
+        path is a single addition.
+        """
         self.stats.cycles += cycles
-        for name in self._active_scopes:
-            self.stats.scope_cycles[name] = (
-                self.stats.scope_cycles.get(name, 0.0) + cycles
-            )
 
     def charge_dispatch(self, cycles: float) -> None:
         """Dispatch overhead counts as execution time (it recurs)."""
         self.stats.dispatch_cycles += cycles
         self.stats.dispatches += 1
-        self.charge(cycles)
+        self.stats.cycles += cycles
 
     def charge_dc(self, cycles: float) -> None:
         """Dynamic-compilation overhead: a separate account (§4.2)."""
         self.stats.dc_cycles += cycles
+
+    def _commit(self, cycles: float, instructions: int) -> None:
+        """Commit one straight-line segment's accumulated charges.
+
+        Both backends call this (or inline exactly this sequence) at
+        segment boundaries; the step limit is enforced with segment
+        granularity, which is sufficient because any loop crosses a
+        segment boundary on every iteration.
+        """
+        self.stats.cycles += cycles
+        self.stats.instructions += instructions
+        self._steps += instructions
+        if self._steps > self.step_limit:
+            raise MachineError(
+                f"step limit {self.step_limit} exceeded (infinite loop?)"
+            )
 
     # ------------------------------------------------------------------
     # Entry points
@@ -176,11 +258,15 @@ class Machine:
             raise MachineError("call depth exceeded")
         tracked_here = function.name in self.tracked
         if tracked_here:
-            self._active_scopes[function.name] = (
-                self._active_scopes.get(function.name, 0) + 1
-            )
-            self.stats.scope_entries[function.name] = (
-                self.stats.scope_entries.get(function.name, 0) + 1
+            name = function.name
+            depth = self._active_scopes.get(name, 0)
+            if depth == 0:
+                # Outermost entry: snapshot the cycle counter; the whole
+                # delta is attributed once, at the matching exit.
+                self._scope_entry_cycles[name] = self.stats.cycles
+            self._active_scopes[name] = depth + 1
+            self.stats.scope_entries[name] = (
+                self.stats.scope_entries.get(name, 0) + 1
             )
         self.charge(self.costs.call_overhead)
         profiler = self.profiler
@@ -193,11 +279,17 @@ class Machine:
             if profiler is not None:
                 profiler.leave(function.name, self.stats.cycles)
             if tracked_here:
-                count = self._active_scopes[function.name] - 1
-                if count:
-                    self._active_scopes[function.name] = count
+                name = function.name
+                depth = self._active_scopes[name] - 1
+                if depth:
+                    self._active_scopes[name] = depth
                 else:
-                    del self._active_scopes[function.name]
+                    del self._active_scopes[name]
+                    delta = (self.stats.cycles
+                             - self._scope_entry_cycles.pop(name))
+                    self.stats.scope_cycles[name] = (
+                        self.stats.scope_cycles.get(name, 0.0) + delta
+                    )
             self._call_depth -= 1
         return result
 
@@ -212,6 +304,9 @@ class Machine:
         costs are scaled by the static scheduling factor; dynamically
         generated region code (see :meth:`exec_region_code`) is not.
         """
+        backend = self._backend
+        if backend is not None:
+            return backend.exec_function(function, env)
         penalty = self.icache.per_instruction_penalty(
             function.instruction_count()
         )
@@ -253,6 +348,9 @@ class Machine:
         host-level ``Return``.  ``Promote`` terminators re-enter the
         runtime for lazy multi-stage specialization.
         """
+        backend = self._backend
+        if backend is not None:
+            return backend.exec_region_code(code, env, footprint)
         penalty = self.icache.per_instruction_penalty(footprint)
         label = code.entry
         while True:
@@ -272,84 +370,117 @@ class Machine:
 
     def _exec_block(self, block, env: dict, penalty: float,
                     scale: float):
-        """Execute one block; return ('jump', label) / ('return', v) / ..."""
+        """Execute one block; return ('jump', label) / ('return', v) / ...
+
+        Charges follow the shared base/extra discipline (see
+        :mod:`repro.machine.costs`): per segment, the type-independent
+        base terms are summed in instruction order into ``acc``, the
+        float-operand extras in occurrence order into ``extra``, and the
+        segment commits ``acc + extra`` in one addition — the exact float
+        computation the threaded backend performs with ``acc`` folded at
+        translation time.
+        """
         costs = self.costs
         memory = self.memory
+        acc = 0.0
+        extra = 0.0
+        count = 0
         for instr in block.instrs:
-            self._steps += 1
-            if self._steps > self.step_limit:
-                raise MachineError(
-                    f"step limit {self.step_limit} exceeded "
-                    f"(infinite loop?)"
-                )
-            self.stats.instructions += 1
             cls = type(instr)
             if cls is BinOp:
                 lhs = self._value(instr.lhs, env)
                 rhs = self._value(instr.rhs, env)
-                is_float = isinstance(lhs, float) or isinstance(rhs, float)
-                self.charge(
-                    costs.binop_cost(instr.op.value, is_float) * scale
-                    + penalty
+                base, fp_extra = binop_terms(
+                    costs, instr.op.value, scale, penalty
                 )
+                acc += base
+                if type(lhs) is float or type(rhs) is float:
+                    extra += fp_extra
+                count += 1
                 env[instr.dest] = eval_binop(instr.op, lhs, rhs)
             elif cls is Move:
                 value = self._value(instr.src, env)
                 if type(instr.src) is Imm:
-                    cost = costs.materialize_cost(isinstance(value, float))
+                    acc += flat_term(
+                        costs.materialize_cost(type(value) is float),
+                        scale, penalty,
+                    )
                 else:
-                    cost = costs.move_cost(isinstance(value, float))
-                self.charge(cost * scale + penalty)
+                    base, fp_extra = move_terms(costs, scale, penalty)
+                    acc += base
+                    if type(value) is float:
+                        extra += fp_extra
+                count += 1
                 env[instr.dest] = value
             elif cls is Load:
                 addr = self._value(instr.addr, env)
-                self.charge(costs.load * scale + penalty)
+                acc += flat_term(costs.load, scale, penalty)
+                count += 1
                 env[instr.dest] = memory.load(addr)
             elif cls is Store:
                 addr = self._value(instr.addr, env)
                 value = self._value(instr.value, env)
-                self.charge(costs.store * scale + penalty)
+                acc += flat_term(costs.store, scale, penalty)
+                count += 1
                 memory.store(addr, value)
             elif cls is UnOp:
                 src = self._value(instr.src, env)
-                self.charge(
-                    costs.binop_cost("alu", isinstance(src, float))
-                    * scale + penalty
-                )
+                base, fp_extra = binop_terms(costs, "alu", scale, penalty)
+                acc += base
+                if type(src) is float:
+                    extra += fp_extra
+                count += 1
                 env[instr.dest] = eval_unop(instr.op, src)
             elif cls is Call:
+                count += 1
+                self._commit(acc + extra, count)
+                acc = 0.0
+                extra = 0.0
+                count = 0
                 args = [self._value(a, env) for a in instr.args]
                 result = self.call(instr.callee, args)
                 if instr.dest is not None:
                     env[instr.dest] = result
             elif cls is Jump:
-                self.charge(costs.jump * scale + penalty)
+                acc += flat_term(costs.jump, scale, penalty)
+                count += 1
+                self._commit(acc + extra, count)
                 return ("jump", instr.target)
             elif cls is Branch:
                 cond = self._value(instr.cond, env)
-                self.charge(costs.branch * scale + penalty)
-                target = instr.if_true if cond else instr.if_false
-                return ("jump", target)
+                acc += flat_term(costs.branch, scale, penalty)
+                count += 1
+                self._commit(acc + extra, count)
+                return ("jump", instr.if_true if cond else instr.if_false)
             elif cls is Return:
-                self.charge(costs.return_cost * scale + penalty)
+                acc += flat_term(costs.return_cost, scale, penalty)
+                count += 1
+                self._commit(acc + extra, count)
                 if instr.value is None:
                     return ("return", None)
                 return ("return", self._value(instr.value, env))
             elif cls is MakeStatic or cls is MakeDynamic:
                 # Annotations cost nothing and do nothing when executed;
                 # the statically compiled configuration ignores them.
-                self.stats.instructions -= 1
+                pass
             elif cls is EnterRegion:
+                count += 1
+                self._commit(acc + extra, count)
                 return ("enter_region", instr)
             elif cls is Promote:
+                count += 1
+                self._commit(acc + extra, count)
                 return ("promote", instr)
             elif cls is ExitRegion:
-                self.charge(costs.jump * scale + penalty)
+                acc += flat_term(costs.jump, scale, penalty)
+                count += 1
+                self._commit(acc + extra, count)
                 return ("exit", instr.index)
             else:  # pragma: no cover - defensive
                 raise MachineError(
                     f"cannot execute {type(instr).__name__}"
                 )
+        self._commit(acc + extra, count)
         raise MachineError(
             f"block {block.label!r} fell through without a terminator"
         )

@@ -103,6 +103,11 @@ class BlockEmitter:
         self._notes: dict[str, tuple] = {}
         self._mat_counter = 0
         self._residualized: set[str] = set()
+        # Hot-path caches (emit_template runs once per emitted template
+        # instruction per specialized context).
+        self._emit_cost = overhead.emit_instruction
+        self._hole_cost = overhead.hole_patch
+        self._zcp_enabled = config.zero_copy_propagation
 
     # ------------------------------------------------------------------
     # Public API
@@ -111,9 +116,12 @@ class BlockEmitter:
     def emit_template(self, instr: Instr, values: dict[str, object],
                       plan: InstrPlan | None) -> None:
         """Emit one template instruction with its holes filled."""
-        self.charge(self.overhead.emit_instruction
-                    + self.overhead.hole_patch * len(values))
-        substituted = self._substitute(instr, values)
+        self.charge(self._emit_cost + self._hole_cost * len(values))
+        if not values and not (self._zcp_enabled and self._notes):
+            # Nothing to substitute: no holes and no applicable notes.
+            substituted = instr
+        else:
+            substituted = self._substitute(instr, values)
         if isinstance(substituted, BinOp) and plan is not None:
             if self._try_fold_or_reduce(substituted, plan):
                 return
@@ -136,10 +144,11 @@ class BlockEmitter:
     def _resolve_operand(self, operand: Operand,
                          values: dict[str, object]) -> Operand:
         if isinstance(operand, Reg):
-            if operand.name in values:
-                return Imm(values[operand.name])
-            if self.config.zero_copy_propagation:
-                note = self._notes.get(operand.name)
+            name = operand.name
+            if name in values:
+                return Imm(values[name])
+            if self._zcp_enabled:
+                note = self._notes.get(name)
                 if note is not None:
                     if note[0] == "const":
                         return Imm(note[1])
@@ -147,30 +156,55 @@ class BlockEmitter:
         return operand
 
     def _substitute(self, instr: Instr, values: dict[str, object]) -> Instr:
-        resolve = lambda op: self._resolve_operand(op, values)  # noqa: E731
-        if isinstance(instr, Move):
-            return Move(instr.dest, resolve(instr.src))
-        if isinstance(instr, UnOp):
-            return UnOp(instr.dest, instr.op, resolve(instr.src))
+        # Operands resolve to themselves in the common case; returning
+        # the original (immutable) instruction then skips a dataclass
+        # construction on the dynamic-compilation hot path.
+        resolve = self._resolve_operand
         if isinstance(instr, BinOp):
-            return BinOp(instr.dest, instr.op, resolve(instr.lhs),
-                         resolve(instr.rhs))
+            lhs = resolve(instr.lhs, values)
+            rhs = resolve(instr.rhs, values)
+            if lhs is instr.lhs and rhs is instr.rhs:
+                return instr
+            return BinOp(instr.dest, instr.op, lhs, rhs)
+        if isinstance(instr, Move):
+            src = resolve(instr.src, values)
+            if src is instr.src:
+                return instr
+            return Move(instr.dest, src)
         if isinstance(instr, Load):
-            return Load(instr.dest, resolve(instr.addr),
-                        static=instr.static)
+            addr = resolve(instr.addr, values)
+            if addr is instr.addr:
+                return instr
+            return Load(instr.dest, addr, static=instr.static)
         if isinstance(instr, Store):
-            return Store(resolve(instr.addr), resolve(instr.value))
+            addr = resolve(instr.addr, values)
+            value = resolve(instr.value, values)
+            if addr is instr.addr and value is instr.value:
+                return instr
+            return Store(addr, value)
+        if isinstance(instr, UnOp):
+            src = resolve(instr.src, values)
+            if src is instr.src:
+                return instr
+            return UnOp(instr.dest, instr.op, src)
         if isinstance(instr, Call):
-            return Call(instr.dest, instr.callee,
-                        tuple(resolve(a) for a in instr.args),
+            args = tuple(resolve(a, values) for a in instr.args)
+            if all(a is b for a, b in zip(args, instr.args)):
+                return instr
+            return Call(instr.dest, instr.callee, args,
                         static=instr.static)
         if isinstance(instr, Branch):
-            return Branch(resolve(instr.cond), instr.if_true,
-                          instr.if_false)
+            cond = resolve(instr.cond, values)
+            if cond is instr.cond:
+                return instr
+            return Branch(cond, instr.if_true, instr.if_false)
         if isinstance(instr, Return):
             if instr.value is None:
                 return instr
-            return Return(resolve(instr.value))
+            value = resolve(instr.value, values)
+            if value is instr.value:
+                return instr
+            return Return(value)
         return instr
 
     # ------------------------------------------------------------------
@@ -450,30 +484,51 @@ class BlockEmitter:
         self._append(instr, plan)
 
     def _fit_immediates(self, instr: Instr) -> Instr:
+        # As in _substitute, operands that already fit come back by
+        # identity, so the original instruction is reused unchanged.
         mat = self._materialize
         if isinstance(instr, Move):
             # A constant move *is* the materialization.
             return instr
-        if isinstance(instr, UnOp):
-            return UnOp(instr.dest, instr.op, mat(instr.src))
         if isinstance(instr, BinOp):
-            return BinOp(instr.dest, instr.op, mat(instr.lhs),
-                         mat(instr.rhs))
+            lhs = mat(instr.lhs)
+            rhs = mat(instr.rhs)
+            if lhs is instr.lhs and rhs is instr.rhs:
+                return instr
+            return BinOp(instr.dest, instr.op, lhs, rhs)
+        if isinstance(instr, UnOp):
+            src = mat(instr.src)
+            if src is instr.src:
+                return instr
+            return UnOp(instr.dest, instr.op, src)
         if isinstance(instr, Load):
-            return Load(instr.dest, mat(instr.addr), static=instr.static)
+            addr = mat(instr.addr)
+            if addr is instr.addr:
+                return instr
+            return Load(instr.dest, addr, static=instr.static)
         if isinstance(instr, Store):
-            return Store(mat(instr.addr), mat(instr.value))
+            addr = mat(instr.addr)
+            value = mat(instr.value)
+            if addr is instr.addr and value is instr.value:
+                return instr
+            return Store(addr, value)
         if isinstance(instr, Call):
-            return Call(instr.dest, instr.callee,
-                        tuple(mat(a) for a in instr.args),
+            args = tuple(mat(a) for a in instr.args)
+            if all(a is b for a, b in zip(args, instr.args)):
+                return instr
+            return Call(instr.dest, instr.callee, args,
                         static=instr.static)
         if isinstance(instr, Branch):
-            return Branch(mat(instr.cond), instr.if_true, instr.if_false)
+            cond = mat(instr.cond)
+            if cond is instr.cond:
+                return instr
+            return Branch(cond, instr.if_true, instr.if_false)
         return instr
 
     def _append(self, instr: Instr, plan: InstrPlan | None) -> None:
+        producer = self._producer
         use_producers = tuple(
-            (name, self._producer.get(name)) for name in instr.uses()
+            (name, producer.get(name)) for name in instr.uses()
         )
         if plan is None:
             expected, remote, removable = 0, True, False
@@ -491,8 +546,9 @@ class BlockEmitter:
         self.items.append(item)
         index = len(self.items) - 1
         for dest in instr.defs():
-            self._kill_notes_for(dest)
-            self._producer[dest] = index
+            if self._notes:
+                self._kill_notes_for(dest)
+            producer[dest] = index
 
     def emit_residual(self, name: str, value) -> None:
         """Materialize a static variable's value as it becomes dynamic.

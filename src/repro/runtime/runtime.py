@@ -172,6 +172,7 @@ class DycRuntime:
                 cost_model=machine.costs,
                 icache=machine.icache,
                 runtime=self,
+                backend=machine.backend,
             )
         before = self._ct_machine.stats.cycles
         result = self._ct_machine.call(callee, args)

@@ -206,6 +206,10 @@ class Specializer:
 
         code.protected_labels.update(t.label for t in tasks)
         self._thread_jumps(code, protected=code.protected_labels)
+        # The batch added blocks and retargeted jumps in code that may
+        # already be executing (lazy promotions patch a running buffer):
+        # invalidate any cached translations of it.
+        code.function.bump_version()
         new_instrs = code.function.instruction_count() - before_instrs
         charge(overhead.icache_flush_base
                + overhead.icache_flush_per_instr * new_instrs)
@@ -298,7 +302,13 @@ class Specializer:
     def _hole_values(self, action: EmitAction, store: dict) -> dict:
         values = {}
         for name in action.holes:
-            values[name] = self._static_value(Reg(name), store)
+            try:
+                values[name] = store[name]
+            except KeyError:
+                raise SpecializationError(
+                    f"static variable {name!r} has no value at "
+                    "specialize time (BTA/specializer mismatch)"
+                ) from None
         return values
 
     def _eval_static(self, action: EvalAction, store: dict, machine,

@@ -3,7 +3,9 @@
 Runs the named workloads (default: all) statically and dynamically,
 verifies their outputs agree, and prints a per-region report: speedup,
 break-even, generated-code size, and which staged optimizations fired.
-Add ``--dump`` to also print the specialized region code.
+Add ``--dump`` to also print the specialized region code, and
+``--backend=reference|threaded`` to pick the execution backend (the
+reported numbers are identical either way).
 """
 
 from __future__ import annotations
@@ -15,9 +17,9 @@ from repro.ir import format_function
 from repro.workloads import ALL_WORKLOADS, get_workload
 
 
-def report(name: str, dump: bool) -> None:
+def report(name: str, dump: bool, backend: str | None = None) -> None:
     workload = get_workload(name)
-    result = run_workload(workload)
+    result = run_workload(workload, backend=backend)
     print(f"\n=== {workload.name} ({workload.kind}): "
           f"{workload.description} ===")
     print(f"static vars: {workload.static_vars} = "
@@ -81,12 +83,19 @@ def report(name: str, dump: bool) -> None:
 
 def main(argv: list[str]) -> int:
     dump = "--dump" in argv
+    backend = None
+    for arg in argv:
+        if arg.startswith("--backend="):
+            backend = arg.split("=", 1)[1]
+        elif arg.startswith("--") and arg != "--dump":
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            return 2
     names = [a for a in argv if not a.startswith("--")]
     if not names:
         names = [w.name for w in ALL_WORKLOADS]
     for name in names:
         try:
-            report(name, dump)
+            report(name, dump, backend)
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
             return 2

@@ -1,0 +1,139 @@
+"""Memoized + parallel eval-harness: cache correctness and pool/serial
+equivalence."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.config import ALL_ON
+from repro.errors import SpecializationError
+from repro.evalharness.memo import Memoizer, memo_key, resolve_memo_dir
+from repro.evalharness.parallel import (
+    resolve_jobs,
+    run_ablations,
+    run_configs,
+)
+from repro.evalharness.runner import resolve_backend, run_workload
+from repro.machine import ALPHA_21164
+from repro.runtime.overhead import DEFAULT_OVERHEAD
+from repro.workloads import WORKLOADS_BY_NAME
+
+DOT = WORKLOADS_BY_NAME["dotproduct"]
+BINARY = WORKLOADS_BY_NAME["binary"]
+
+
+def _result_fields(result):
+    fields = {
+        f.name: getattr(result, f.name)
+        for f in dataclasses.fields(result)
+    }
+    fields["workload"] = result.workload.name
+    return fields
+
+
+class TestMemoizer:
+    def test_roundtrip(self, tmp_path):
+        memo = Memoizer(str(tmp_path))
+        cold = run_workload(DOT, memo=memo)
+        warm = run_workload(DOT, memo=memo)
+        assert warm.workload is DOT
+        assert _result_fields(cold) == _result_fields(warm)
+        assert warm.region_metrics()[0].asymptotic_speedup == \
+            cold.region_metrics()[0].asymptotic_speedup
+
+    def test_key_sensitivity(self):
+        base = memo_key(DOT, ALL_ON, ALPHA_21164, DEFAULT_OVERHEAD)
+        assert base == memo_key(DOT, ALL_ON, ALPHA_21164,
+                                DEFAULT_OVERHEAD)
+        assert base != memo_key(
+            DOT, ALL_ON.without("strength_reduction"), ALPHA_21164,
+            DEFAULT_OVERHEAD,
+        )
+        assert base != memo_key(
+            DOT, ALL_ON, ALPHA_21164.with_overrides(int_mul=9),
+            DEFAULT_OVERHEAD,
+        )
+        assert base != memo_key(BINARY, ALL_ON, ALPHA_21164,
+                                DEFAULT_OVERHEAD)
+
+    def test_backend_not_in_key(self, tmp_path):
+        """Both backends produce byte-identical stats, so a result
+        computed under one backend must be served to the other."""
+        memo = Memoizer(str(tmp_path))
+        cold = run_workload(DOT, memo=memo, backend="threaded")
+        warm = run_workload(DOT, memo=memo, backend="reference")
+        assert _result_fields(cold) == _result_fields(warm)
+
+    def test_corrupt_entry_is_recomputed(self, tmp_path):
+        memo = Memoizer(str(tmp_path))
+        run_workload(DOT, memo=memo)
+        [entry] = [p for p in os.listdir(tmp_path)
+                   if p.endswith(".pkl")]
+        with open(tmp_path / entry, "wb") as fh:
+            fh.write(b"not a pickle")
+        result = run_workload(DOT, memo=memo)
+        assert result.workload is DOT
+
+    def test_specialization_error_memoized(self, tmp_path):
+        memo = Memoizer(str(tmp_path))
+        config = ALL_ON.without("static_loads")
+        mipsi = WORKLOADS_BY_NAME["mipsi"]
+        with pytest.raises(SpecializationError):
+            run_workload(mipsi, config, memo=memo)
+        # Warm path raises straight from the cache marker.
+        with pytest.raises(SpecializationError):
+            run_workload(mipsi, config, memo=memo)
+
+    def test_memo_dir_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MEMO_DIR", raising=False)
+        assert resolve_memo_dir(None) == ".repro_memo"
+        assert resolve_memo_dir("/x/y") == "/x/y"
+        monkeypatch.setenv("REPRO_MEMO_DIR", "/from/env")
+        assert resolve_memo_dir(None) == "/from/env"
+
+
+class TestParallel:
+    def test_resolve_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs(None) == 4
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+    def test_pool_matches_serial(self, tmp_path):
+        tasks = [(DOT.name, ALL_ON), (BINARY.name, ALL_ON)]
+        serial = run_configs(tasks, jobs=1)
+        pooled = run_configs(tasks, jobs=2,
+                             memo=Memoizer(str(tmp_path)))
+        for a, b in zip(serial, pooled):
+            assert _result_fields(a) == _result_fields(b)
+
+    def test_ablation_worker_fallback(self, tmp_path):
+        memo = Memoizer(str(tmp_path))
+        [(result, starred)] = run_ablations(
+            [("mipsi", "static_loads")], jobs=1, memo=memo
+        )
+        assert starred is True
+        assert not result.config.static_loads
+        assert not result.config.complete_loop_unrolling
+
+    def test_progress_callback(self):
+        seen = []
+        run_configs([(DOT.name, ALL_ON)], jobs=1,
+                    progress=lambda name, cfg: seen.append(name))
+        assert seen == [DOT.name]
+
+
+class TestBackendResolution:
+    def test_default_is_threaded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None) == "threaded"
+        assert resolve_backend("reference") == "reference"
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        assert resolve_backend(None) == "reference"
+        with pytest.raises(ValueError):
+            resolve_backend("jit")

@@ -230,3 +230,69 @@ class TestCostModel:
         m = CostModel()
         assert m.intrinsic_cost("cos") == 80
         assert m.intrinsic_cost("unknown_thing") == m.intrinsic_default
+
+
+class TestRecursionGuard:
+    def test_one_shot_and_headroom(self):
+        from repro.machine import interp
+
+        # Any machine constructed by the suite so far has armed the
+        # guard; building one more must keep it armed and leave the
+        # process limit at (or above) the required headroom.
+        mod = Module()
+        b = FunctionBuilder("f", ())
+        b.ret(0)
+        mod.add_function(b.finish())
+        Machine(mod)
+        assert interp._recursion_guard_done is True
+        import sys
+        assert sys.getrecursionlimit() >= interp._RECURSION_HEADROOM
+        limit = sys.getrecursionlimit()
+        Machine(mod)  # second construction must not touch the limit
+        assert sys.getrecursionlimit() == limit
+
+
+class TestScopeAccounting:
+    def _recursive_module(self):
+        mod = Module()
+        b = FunctionBuilder("fib", ("n",))
+        b.binop("c", Op.LT, "n", 2)
+        b.branch("c", "base", "rec")
+        b.label("base")
+        b.ret("n")
+        b.label("rec")
+        b.binop("a", Op.SUB, "n", 1)
+        b.call("x", "fib", ["a"])
+        b.binop("b", Op.SUB, "n", 2)
+        b.call("y", "fib", ["b"])
+        b.binop("r", Op.ADD, "x", "y")
+        b.ret("r")
+        mod.add_function(b.finish())
+        return mod
+
+    def test_recursive_tracked_scope_counts_once(self):
+        """Scope cycles for a recursive function are attributed via an
+        outermost-entry snapshot: the total equals the machine's whole
+        cycle count spent inside the call, not a double count."""
+        mod = self._recursive_module()
+        machine = Machine(mod, tracked=frozenset({"fib"}))
+        assert machine.run("fib", 10) == 55
+        scope = machine.stats.scope_cycles["fib"]
+        assert scope == pytest.approx(machine.stats.cycles)
+        # Entries count every call (177 for fib(10)); only the cycle
+        # attribution is snapshotted at the outermost entry.
+        assert machine.stats.scope_entries["fib"] == 177
+
+    def test_tracked_scope_matches_across_backends(self):
+        totals = {}
+        for backend in ("reference", "threaded"):
+            mod = self._recursive_module()
+            machine = Machine(mod, tracked=frozenset({"fib"}),
+                              backend=backend)
+            machine.run("fib", 12)
+            totals[backend] = (
+                machine.stats.cycles,
+                machine.stats.scope_cycles["fib"],
+                machine.stats.scope_entries["fib"],
+            )
+        assert totals["reference"] == totals["threaded"]
