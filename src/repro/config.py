@@ -59,6 +59,28 @@ class OptConfig:
     #: :class:`repro.errors.LintError`.
     lint: bool = False
 
+    # --- robustness knobs (not optimizations; excluded from
+    # --- enabled_names and from Table 5) -------------------------------
+    #: Fault-injection spec (see :mod:`repro.faults`), combined with the
+    #: ``REPRO_FAULTS`` environment variable.
+    faults: str = ""
+    #: Force the graceful-degradation ladder on.  It also activates
+    #: automatically whenever any fault point is armed, or via the
+    #: ``REPRO_DEGRADE`` environment variable.
+    degrade: bool = False
+    #: Bound on live entries per ``cache_all`` code cache (0 = unbounded);
+    #: full caches evict clock/second-chance victims instead of growing.
+    cache_capacity: int = 0
+    #: Per-batch specialization-context budget (0 = the module default,
+    #: :data:`repro.runtime.specializer.MAX_CONTEXTS_PER_BATCH`).  With
+    #: the ladder active, overruns residualize the remaining work as
+    #: ordinary dynamic code instead of raising.
+    specialize_budget: int = 0
+    #: Quarantine a (region, context) after this many specialization
+    #: failures; further dispatches run the unspecialized fallback
+    #: directly (circuit breaker).
+    quarantine_after: int = 3
+
     def without(self, *names: str) -> "OptConfig":
         """A copy with the named optimizations disabled (for ablations)."""
         valid = {f.name for f in dataclasses.fields(self)}
@@ -69,10 +91,13 @@ class OptConfig:
 
     def enabled_names(self) -> tuple[str, ...]:
         """Names of the enabled optimization switches."""
-        debug_fields = ("check_annotations", "lint")
+        non_opt_fields = (
+            "check_annotations", "lint", "faults", "degrade",
+            "cache_capacity", "specialize_budget", "quarantine_after",
+        )
         return tuple(
             f.name for f in dataclasses.fields(self)
-            if f.name not in debug_fields and getattr(self, f.name)
+            if f.name not in non_opt_fields and getattr(self, f.name)
         )
 
 

@@ -85,7 +85,87 @@ class TrapError(MachineError):
 
 
 class SpecializationError(ReproError):
-    """Raised when the runtime specializer cannot specialize a region."""
+    """Raised when the runtime specializer cannot specialize a region.
+
+    Beyond the human-readable message, the error carries structured
+    fields so the degradation ladder can key its quarantine on the
+    failing (region, context) and the harness can report *where* a run
+    degraded: ``region_id``, ``context_key`` (the promoted-value tuple),
+    ``fault_point`` (the :mod:`repro.faults` point that injected the
+    failure, if any), and ``attempt`` (1 for the first specialization
+    attempt, 2 for the re-specialize rung).
+    """
+
+    def __init__(self, message: str, *, region_id: int | None = None,
+                 context_key: tuple | None = None,
+                 fault_point: str | None = None,
+                 attempt: int | None = None):
+        self.message = message
+        self.region_id = region_id
+        self.context_key = context_key
+        self.fault_point = fault_point
+        self.attempt = attempt
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        details = []
+        if self.region_id is not None and \
+                f"region {self.region_id}" not in self.message:
+            details.append(f"region {self.region_id}")
+        if self.context_key is not None:
+            details.append(f"context {self.context_key!r}")
+        if self.fault_point is not None:
+            details.append(f"fault {self.fault_point}")
+        if self.attempt is not None:
+            details.append(f"attempt {self.attempt}")
+        if not details:
+            return self.message
+        return f"{self.message} [{', '.join(details)}]"
+
+    def fields(self) -> dict:
+        """Structured fields as a plain dict (for memoization/transport)."""
+        return {
+            "region_id": self.region_id,
+            "context_key": self.context_key,
+            "fault_point": self.fault_point,
+            "attempt": self.attempt,
+        }
+
+
+class SpecializationBudgetError(SpecializationError):
+    """A specialization batch exceeded its context budget.
+
+    Distinguished so the degradation ladder can residualize the runaway
+    unrolling dynamically instead of retrying (a retry would overrun the
+    same budget again).
+    """
+
+
+class FaultConfigError(ReproError):
+    """Raised for malformed ``REPRO_FAULTS`` / ``OptConfig.faults`` specs."""
+
+
+class WorkerFault(ReproError):
+    """An injected failure inside an eval-harness pool worker."""
+
+
+class HarnessError(ReproError):
+    """One or more harness tasks failed even after retries.
+
+    Raised *after* the whole sweep completes (so completed results are
+    persisted via the memo cache); carries the per-task failure records.
+    """
+
+    def __init__(self, failures, context: str = "harness sweep"):
+        self.failures = list(failures)
+        summary = "; ".join(
+            f"task {f.index}: {f.error_type}: {f.error}"
+            for f in self.failures
+        )
+        super().__init__(
+            f"{context}: {len(self.failures)} task(s) failed after "
+            f"retries: {summary}"
+        )
 
 
 class AnnotationError(ReproError):

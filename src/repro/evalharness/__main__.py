@@ -16,6 +16,16 @@ Shared flags::
     --memo-dir DIR                   cache directory (default .repro_memo,
                                      or $REPRO_MEMO_DIR)
 
+Robustness flags (exported to the environment so pool workers inherit
+them)::
+
+    --faults SPEC                    arm fault-injection points
+                                     (sets REPRO_FAULTS)
+    --degrade                        enable the graceful-degradation
+                                     ladder (sets REPRO_DEGRADE=1)
+    --task-timeout SECS              no-progress timeout per pool round
+                                     (sets REPRO_TASK_TIMEOUT)
+
 ``bench``-only flags: ``--output PATH`` and ``--repeat N``.
 """
 
@@ -23,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -96,6 +107,17 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--memo-dir", default=None, metavar="DIR",
                         help="result-cache directory (default: "
                              "$REPRO_MEMO_DIR or .repro_memo)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault-injection spec, e.g. "
+                             "'cache.corrupt:once;worker.crash' "
+                             "(sets $REPRO_FAULTS for workers too)")
+    parser.add_argument("--degrade", action="store_true",
+                        help="enable the graceful-degradation ladder "
+                             "(sets $REPRO_DEGRADE=1)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="abandon a pool round after SECS with no "
+                             "completed task (sets $REPRO_TASK_TIMEOUT)")
     parser.add_argument("--output", default=DEFAULT_BENCH_PATH,
                         metavar="PATH",
                         help="bench only: where to write the JSON report")
@@ -119,8 +141,27 @@ def _bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _export_robustness_env(args: argparse.Namespace) -> None:
+    """Publish robustness flags as environment variables.
+
+    The runtime resolves faults/degradation from the environment (on top
+    of ``OptConfig``), and pool workers inherit ``os.environ`` — so one
+    export point covers the serial path, the parent's own runs, and
+    every worker process.
+    """
+    if args.faults is not None:
+        from repro.faults import parse_spec
+        parse_spec(args.faults)   # fail fast on typos, in the parent
+        os.environ["REPRO_FAULTS"] = args.faults
+    if args.degrade:
+        os.environ["REPRO_DEGRADE"] = "1"
+    if args.task_timeout is not None:
+        os.environ["REPRO_TASK_TIMEOUT"] = str(args.task_timeout)
+
+
 def main(argv: list[str]) -> int:
     args = _parse_args(argv)
+    _export_robustness_env(args)
     start = time.time()
 
     if args.what == "bench":

@@ -29,7 +29,8 @@ import pickle
 import tempfile
 
 from repro.config import OptConfig
-from repro.errors import SpecializationError
+from repro.errors import SpecializationBudgetError, SpecializationError
+from repro.faults import resolve_degrade, resolve_fault_spec
 from repro.ir import Memory
 from repro.machine.costs import CostModel
 from repro.runtime.overhead import OverheadModel
@@ -38,7 +39,7 @@ from repro.workloads.base import Workload
 
 #: Bump when the RunResult layout or the fingerprint recipe changes;
 #: stale entries from older schemas simply never match.
-_SCHEMA = 1
+_SCHEMA = 2
 
 #: Default cache directory (relative to the current working directory)
 #: when none is given explicitly or via ``REPRO_MEMO_DIR``.
@@ -85,6 +86,13 @@ def memo_key(workload: Workload,
     feed(workload.icache_capacity_bytes)
     feed(_fingerprint_inputs(workload))
     feed(sorted(dataclasses.asdict(config).items()))
+    # Fault-injection and degradation settings change run statistics but
+    # partly live in environment variables (REPRO_FAULTS/REPRO_DEGRADE),
+    # which ``asdict(config)`` cannot see: feed the *resolved* values so a
+    # faulted run can never serve a clean run from the cache (or vice
+    # versa).
+    feed(("resolved_faults", resolve_fault_spec(config)))
+    feed(("resolved_degrade", resolve_degrade(config)))
     feed(sorted(dataclasses.asdict(cost_model).items()))
     feed(sorted(dataclasses.asdict(overhead).items()))
     feed(verify)
@@ -118,7 +126,11 @@ class Memoizer:
         if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
             return None
         if "error" in payload:
-            raise SpecializationError(payload["error"])
+            cls = (SpecializationBudgetError
+                   if payload.get("error_kind") == "budget"
+                   else SpecializationError)
+            fields = payload.get("error_fields") or {}
+            raise cls(payload["error"], **fields)
         fields = payload.get("result")
         if not isinstance(fields, dict):
             return None
@@ -157,5 +169,18 @@ class Memoizer:
         self._write(key, {"schema": _SCHEMA, "result": fields})
 
     def put_error(self, key: str, error: SpecializationError) -> None:
-        """Cache a deterministic specialization failure."""
-        self._write(key, {"schema": _SCHEMA, "error": str(error)})
+        """Cache a deterministic specialization failure.
+
+        The raw message and the structured fields are stored separately
+        (``str(error)`` already embeds the fields) so :meth:`get` can
+        reconstruct an identical exception, subclass included.
+        """
+        self._write(key, {
+            "schema": _SCHEMA,
+            "error": getattr(error, "message", str(error)),
+            "error_fields": error.fields(),
+            "error_kind": (
+                "budget" if isinstance(error, SpecializationBudgetError)
+                else "spec"
+            ),
+        })

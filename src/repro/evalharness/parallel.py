@@ -12,18 +12,33 @@ checksum callables that may not pickle.
 worker functions, so the two paths cannot drift apart behaviourally.
 Workers share the memo cache directory (if any); its atomic writes make
 that safe without locking.
+
+The pool is *supervised*: a worker that raises, dies (``worker.crash``),
+or stops making progress (``worker.hang`` + ``REPRO_TASK_TIMEOUT``) does
+not take the sweep down with it.  Failed tasks are retried once in a
+fresh pool round, then once more inline in the parent process; tasks
+that still fail are collected as :class:`TaskFailure` records and
+reported together in a :class:`~repro.errors.HarnessError` *after* the
+rest of the sweep has completed (and its memo entries persisted).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.config import ALL_ON, OptConfig
-from repro.errors import SpecializationError
+from repro.errors import HarnessError, SpecializationError, WorkerFault
 from repro.evalharness.memo import Memoizer
 from repro.evalharness.runner import RunResult, run_workload
+from repro.faults import FaultRegistry, resolve_fault_spec
 from repro.workloads import WORKLOADS_BY_NAME
 
 
@@ -41,6 +56,32 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return jobs
+
+
+def resolve_task_timeout() -> float:
+    """Per-round no-progress timeout in seconds (0 disables it).
+
+    Read from ``REPRO_TASK_TIMEOUT``.  The timeout is deliberately
+    *no-progress* rather than per-task: any completion resets the clock,
+    so a large sweep with one slow task is not misdiagnosed as hung.
+    """
+    env = os.environ.get("REPRO_TASK_TIMEOUT")
+    if not env:
+        return 0.0
+    try:
+        value = float(env)
+    except ValueError:
+        return 0.0
+    return max(0.0, value)
+
+
+@dataclasses.dataclass
+class TaskFailure:
+    """One task that failed every rung of the retry ladder."""
+    index: int
+    error_type: str
+    error: str
+    attempts: int
 
 
 # ----------------------------------------------------------------------
@@ -65,9 +106,37 @@ def _unpack(fields: dict) -> RunResult:
 # Worker functions (must be top-level for pickling)
 # ----------------------------------------------------------------------
 
+def _worker_faults(attempt: int) -> None:
+    """Fire injected worker faults, on the first pool attempt only.
+
+    ``attempt`` is 0 for the initial pool round, positive for retries,
+    and negative for the serial path (where a crash or hang would take
+    down the harness itself rather than a supervised worker — worker
+    faults only make sense under the pool).  Firing only at attempt 0
+    keeps the retry ladder deterministic: the re-dispatched task runs
+    clean.
+    """
+    if attempt != 0:
+        return
+    spec = resolve_fault_spec(None)
+    if not spec:
+        return
+    registry = FaultRegistry.from_spec(spec)
+    if registry.enabled("worker.hang") \
+            and registry.should_fire("worker.hang"):
+        time.sleep(registry.param("worker.hang", "secs", 30.0))
+    if registry.enabled("worker.crash") \
+            and registry.should_fire("worker.crash"):
+        os._exit(86)
+    if registry.enabled("worker.error") \
+            and registry.should_fire("worker.error"):
+        raise WorkerFault("injected worker fault (worker.error)")
+
+
 def _run_config_task(task) -> dict:
     """Worker: run one workload under one configuration."""
-    name, config, backend, memo_dir = task
+    name, config, backend, memo_dir, *rest = task
+    _worker_faults(rest[0] if rest else -1)
     workload = WORKLOADS_BY_NAME[name]
     memo = Memoizer(memo_dir) if memo_dir is not None else None
     return _pack(run_workload(workload, config, backend=backend,
@@ -81,7 +150,8 @@ def _run_ablation_task(task) -> tuple[dict, bool]:
     if the ablation alone makes specialization diverge, additionally
     disable complete loop unrolling and star the result.
     """
-    name, ablation, backend, memo_dir = task
+    name, ablation, backend, memo_dir, *rest = task
+    _worker_faults(rest[0] if rest else -1)
     workload = WORKLOADS_BY_NAME[name]
     memo = Memoizer(memo_dir) if memo_dir is not None else None
     try:
@@ -101,28 +171,120 @@ def _run_ablation_task(task) -> tuple[dict, bool]:
 # Dispatcher
 # ----------------------------------------------------------------------
 
+def _pool_round(worker, payloads, pending, jobs: int, attempt: int,
+                timeout: float, finish, failures: dict) -> list[int]:
+    """Run one supervised pool round over ``pending`` task indices.
+
+    Returns the indices that must be retried.  A broken pool (a worker
+    hard-crashed) or a no-progress timeout abandons the round: completed
+    futures are harvested, everything else is queued for retry, and the
+    pool is discarded without waiting on possibly-hung workers.
+    """
+    workers = min(jobs, len(pending))
+    pool = ProcessPoolExecutor(max_workers=workers)
+    futures = {
+        pool.submit(worker, (*payloads[index], attempt)): index
+        for index in pending
+    }
+    remaining = set(futures)
+    retry: list[int] = []
+    abandoned = False
+
+    def record(index: int, error_type: str, message: str) -> None:
+        failures[index] = TaskFailure(index, error_type, message,
+                                      attempt + 1)
+        retry.append(index)
+
+    try:
+        while remaining:
+            done, _ = wait(remaining, timeout=timeout or None,
+                           return_when=FIRST_COMPLETED)
+            if not done:
+                abandoned = True
+                for future in remaining:
+                    record(futures[future], "TimeoutError",
+                           f"worker made no progress within {timeout:g}s")
+                break
+            for future in done:
+                remaining.discard(future)
+                index = futures[future]
+                try:
+                    finish(index, future.result())
+                except BrokenProcessPool as err:
+                    abandoned = True
+                    record(index, type(err).__name__,
+                           str(err) or "worker process died")
+                except Exception as err:  # noqa: BLE001
+                    record(index, type(err).__name__, str(err))
+            if abandoned:
+                # The pool is unusable; harvest whatever already
+                # finished and queue the rest for the next round.
+                for future in remaining:
+                    index = futures[future]
+                    try:
+                        if future.done():
+                            finish(index, future.result())
+                            continue
+                    except Exception as err:  # noqa: BLE001
+                        record(index, type(err).__name__,
+                               str(err) or "worker process died")
+                        continue
+                    record(index, "BrokenProcessPool",
+                           "pool died before the task ran")
+                break
+    finally:
+        # After a hang/crash do not wait on the corpse; cancel anything
+        # not yet started.  Injected hangs are bounded sleeps, so
+        # orphaned workers drain themselves.
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+    return retry
+
+
 def _map_tasks(worker, payloads, jobs: int | None, on_done=None) -> list:
-    """Run ``worker`` over ``payloads``, preserving input order."""
+    """Run ``worker`` over ``payloads``, preserving input order.
+
+    Supervision ladder per task: pool attempt 0 (worker faults armed) →
+    pool attempt 1 in a fresh pool → inline attempt 2 in the parent.
+    Raises :class:`HarnessError` listing every task that exhausted the
+    ladder — only after all other tasks have completed.
+    """
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(payloads) <= 1:
-        out = []
-        for index, payload in enumerate(payloads):
-            out.append(worker(payload))
-            if on_done is not None:
-                on_done(index)
-        return out
     results: list = [None] * len(payloads)
-    workers = min(jobs, len(payloads))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            pool.submit(worker, payload): index
-            for index, payload in enumerate(payloads)
-        }
-        for future in as_completed(futures):
-            index = futures[future]
-            results[index] = future.result()
-            if on_done is not None:
-                on_done(index)
+    failures: dict[int, TaskFailure] = {}
+
+    def finish(index: int, value) -> None:
+        results[index] = value
+        failures.pop(index, None)
+        if on_done is not None:
+            on_done(index)
+
+    if jobs <= 1 or len(payloads) <= 1:
+        for index, payload in enumerate(payloads):
+            try:
+                finish(index, worker((*payload, -1)))
+            except Exception as err:  # noqa: BLE001
+                failures[index] = TaskFailure(index, type(err).__name__,
+                                              str(err), 1)
+    else:
+        timeout = resolve_task_timeout()
+        pending = list(range(len(payloads)))
+        for attempt in range(2):
+            if not pending:
+                break
+            pending = _pool_round(worker, payloads, pending, jobs,
+                                  attempt, timeout, finish, failures)
+        for index in pending:
+            # Last rung: run inline, where nothing can crash the pool.
+            try:
+                finish(index, worker((*payloads[index], 2)))
+            except Exception as err:  # noqa: BLE001
+                prior = failures.get(index)
+                attempts = (prior.attempts if prior else 2) + 1
+                failures[index] = TaskFailure(index, type(err).__name__,
+                                              str(err), attempts)
+    if failures:
+        raise HarnessError(sorted(failures.values(),
+                                  key=lambda f: f.index))
     return results
 
 

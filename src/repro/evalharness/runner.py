@@ -54,6 +54,13 @@ class RunResult:
     # ------------------------------------------------------------------
 
     @property
+    def degraded(self) -> bool:
+        """True when any region walked down the degradation ladder
+        (failed specializations, fallback executions, quarantines,
+        budget truncations, or cache corruption recoveries)."""
+        return any(stats.degraded for stats in self.region_stats.values())
+
+    @property
     def whole_program_speedup(self) -> float:
         """Including dynamic compilation overhead (Table 4)."""
         denominator = self.dynamic_total_cycles + self.dc_cycles

@@ -1,0 +1,23 @@
+"""Deterministic fault injection for the dynamic-compilation runtime."""
+
+from repro.faults.registry import (
+    FAULT_POINTS,
+    WORKER_POINTS,
+    FaultRegistry,
+    FaultSpec,
+    combine_specs,
+    parse_spec,
+    resolve_degrade,
+    resolve_fault_spec,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "WORKER_POINTS",
+    "FaultRegistry",
+    "FaultSpec",
+    "combine_specs",
+    "parse_spec",
+    "resolve_degrade",
+    "resolve_fault_spec",
+]

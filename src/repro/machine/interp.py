@@ -113,6 +113,10 @@ class ExecutionStats:
     dispatches: int = 0
     scope_cycles: dict[str, float] = field(default_factory=dict)
     scope_entries: dict[str, int] = field(default_factory=dict)
+    #: Threaded-backend translations that fell back to the reference
+    #: interpreter (injected ``threaded.translate`` faults).  Zero on a
+    #: clean run; the fallback is cycle-identical by construction.
+    degraded_translations: int = 0
 
     def snapshot(self) -> "ExecutionStats":
         return ExecutionStats(
@@ -123,6 +127,7 @@ class ExecutionStats:
             dispatches=self.dispatches,
             scope_cycles=dict(self.scope_cycles),
             scope_entries=dict(self.scope_entries),
+            degraded_translations=self.degraded_translations,
         )
 
 
@@ -307,6 +312,11 @@ class Machine:
         backend = self._backend
         if backend is not None:
             return backend.exec_function(function, env)
+        return self._exec_function_interp(function, env)
+
+    def _exec_function_interp(self, function: Function, env: dict):
+        """Reference-interpreter host loop (also the threaded backend's
+        degradation target when translation is faulted)."""
         penalty = self.icache.per_instruction_penalty(
             function.instruction_count()
         )
@@ -351,8 +361,15 @@ class Machine:
         backend = self._backend
         if backend is not None:
             return backend.exec_region_code(code, env, footprint)
+        return self._exec_region_interp(code, env, footprint, code.entry)
+
+    def _exec_region_interp(self, code: Function, env: dict,
+                            footprint: int,
+                            label: str) -> tuple[str, object]:
+        """Reference-interpreter region loop, resumable at ``label`` (the
+        threaded backend degrades into it mid-region when a retranslation
+        after a version bump is faulted)."""
         penalty = self.icache.per_instruction_penalty(footprint)
-        label = code.entry
         while True:
             kind, payload = self._exec_block(
                 code.blocks[label], env, penalty, 1.0

@@ -148,6 +148,16 @@ def _undefined(name: str):
     raise TrapError(f"use of undefined variable {name!r}")
 
 
+class TranslationFault(MachineError):
+    """An injected ``threaded.translate`` fault refused a translation.
+
+    Raised only by fault injection (:mod:`repro.faults`); the drivers
+    catch it and degrade to the reference interpreter, which is
+    cycle-identical by construction, so a translation fault is invisible
+    in the stats except for ``degraded_translations``.
+    """
+
+
 # ----------------------------------------------------------------------
 # Translation
 # ----------------------------------------------------------------------
@@ -194,6 +204,15 @@ class ThreadedBackend:
                 and entry.penalty == penalty
                 and entry.scale == scale):
             return entry
+        runtime = self.machine.runtime
+        if runtime is not None:
+            faults = getattr(runtime, "faults", None)
+            if faults is not None and faults.active \
+                    and faults.should_fire("threaded.translate"):
+                raise TranslationFault(
+                    f"injected fault translating {fn.name!r} "
+                    f"(version {fn.version})"
+                )
         entry = self._translate(fn, penalty, scale)
         self._cache[id(fn)] = entry
         return entry
@@ -211,7 +230,11 @@ class ThreadedBackend:
             function.instruction_count()
         )
         scale = machine.costs.static_schedule_factor
-        runners = self.translation(function, penalty, scale).runners
+        try:
+            runners = self.translation(function, penalty, scale).runners
+        except TranslationFault:
+            machine.stats.degraded_translations += 1
+            return machine._exec_function_interp(function, env)
         label = function.entry
         while True:
             kind, payload = runners[label](env)
@@ -243,11 +266,24 @@ class ThreadedBackend:
         """
         machine = self.machine
         penalty = machine.icache.per_instruction_penalty(footprint)
-        trans = self.translation(code, penalty, 1.0)
+        try:
+            trans = self.translation(code, penalty, 1.0)
+        except TranslationFault:
+            machine.stats.degraded_translations += 1
+            return machine._exec_region_interp(code, env, footprint,
+                                               code.entry)
         label = code.entry
         while True:
             if code.version != trans.version:
-                trans = self.translation(code, penalty, 1.0)
+                try:
+                    trans = self.translation(code, penalty, 1.0)
+                except TranslationFault:
+                    # Mid-region degradation: resume the reference loop
+                    # at the current block.
+                    machine.stats.degraded_translations += 1
+                    return machine._exec_region_interp(
+                        code, env, footprint, label
+                    )
             kind, payload = trans.runners[label](env)
             if kind == "jump":
                 label = payload

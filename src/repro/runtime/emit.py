@@ -91,11 +91,15 @@ class BlockEmitter:
     """Emits one block of specialized code with ZCP/DAE/SR completion."""
 
     def __init__(self, config: OptConfig, overhead: OverheadModel,
-                 stats: RegionStats, charge) -> None:
+                 stats: RegionStats, charge, faults=None) -> None:
         self.config = config
         self.overhead = overhead
         self.stats = stats
         self.charge = charge  # callable(cycles): accumulate DC overhead
+        # Armed only when the emit.template fault point is configured, so
+        # the hot path pays a single None check otherwise.
+        self._faults = faults if faults is not None and \
+            faults.enabled("emit.template") else None
         self.items: list[BufferedInstr] = []
         #: register -> producing buffer index (None: constant/zero note).
         self._producer: dict[str, int | None] = {}
@@ -116,6 +120,12 @@ class BlockEmitter:
     def emit_template(self, instr: Instr, values: dict[str, object],
                       plan: InstrPlan | None) -> None:
         """Emit one template instruction with its holes filled."""
+        if self._faults is not None and \
+                self._faults.should_fire("emit.template"):
+            raise SpecializationError(
+                "injected fault while emitting a template instruction",
+                fault_point="emit.template",
+            )
         self.charge(self._emit_cost + self._hole_cost * len(values))
         if not values and not (self._zcp_enabled and self._notes):
             # Nothing to substitute: no holes and no applicable notes.
@@ -549,6 +559,16 @@ class BlockEmitter:
             if self._notes:
                 self._kill_notes_for(dest)
             producer[dest] = index
+
+    def emit_raw(self, instr: Instr) -> None:
+        """Emit one instruction verbatim (plus immediate fitting).
+
+        Used by dynamic residualization (budget truncation): template
+        instructions are replayed as ordinary dynamic code with no plan,
+        so they are never elided and no notes apply.
+        """
+        self.charge(self.overhead.emit_instruction)
+        self._emit_final(instr, None)
 
     def emit_residual(self, name: str, value) -> None:
         """Materialize a static variable's value as it becomes dynamic.

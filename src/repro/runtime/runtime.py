@@ -9,8 +9,19 @@ terminator (internal dynamic-to-static promotion).
 from __future__ import annotations
 
 from repro.errors import SpecializationError
+from repro.faults import (
+    FaultRegistry,
+    resolve_degrade,
+    resolve_fault_spec,
+)
 from repro.machine.interp import Machine
-from repro.runtime.cache import CodeCache, IndexedCache, UncheckedCache
+from repro.runtime.cache import (
+    CodeCache,
+    IndexedCache,
+    UncheckedCache,
+    entry_checksum,
+)
+from repro.runtime.fallback import build_fallback_function
 from repro.runtime.overhead import DEFAULT_OVERHEAD, OverheadModel
 from repro.runtime.specializer import (
     PendingPromotion,
@@ -21,7 +32,15 @@ from repro.runtime.stats import RuntimeStats
 
 
 class DycRuntime:
-    """Run-time dispatching, specialization, and statistics."""
+    """Run-time dispatching, specialization, and statistics.
+
+    When the degradation ladder is active (``config.degrade``, the
+    ``REPRO_DEGRADE`` environment variable, or any armed fault point) a
+    failed specialization no longer aborts execution: the dispatcher
+    retries once, then runs the region *unspecialized* from its template,
+    and quarantines a (region, context) pair that keeps failing so later
+    dispatches skip straight to the fallback (a circuit breaker).
+    """
 
     def __init__(self, compiled, overhead: OverheadModel | None = None):
         self.compiled = compiled
@@ -29,11 +48,21 @@ class DycRuntime:
         self.overhead = overhead if overhead is not None else \
             DEFAULT_OVERHEAD
         self.stats = RuntimeStats()
+        self.faults = FaultRegistry.from_spec(
+            resolve_fault_spec(self.config)
+        )
+        self.degrade = resolve_degrade(self.config)
+        self.quarantine_after = max(1, self.config.quarantine_after)
         self.specializer = Specializer(self)
         self.entry_caches: dict[int, object] = {}
         self.pendings: dict[int, PendingPromotion] = {}
         self._emission_counter = 0
         self._ct_machine: Machine | None = None
+        #: (region_id, entry key) -> consecutive dispatch-time failures.
+        self._failures: dict[tuple, int] = {}
+        self._quarantined: set[tuple] = set()
+        #: region_id -> (fallback Function, its footprint), built lazily.
+        self._fallbacks: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Policy / cache helpers
@@ -46,12 +75,31 @@ class DycRuntime:
             return "cache_all"
         return policy
 
-    def make_cache(self, policy: str):
+    def make_cache(self, policy: str, stats=None):
         if policy == "cache_one_unchecked":
             return UncheckedCache(strict=self.config.check_annotations)
         if policy == "cache_indexed":
             return IndexedCache()
-        return CodeCache()
+        capacity = max(0, self.config.cache_capacity)
+        faults = self.faults if (
+            self.faults.enabled("cache.corrupt")
+            or self.faults.enabled("cache.evict")
+        ) else None
+        if capacity == 0 and faults is None:
+            return CodeCache()
+
+        def on_evict() -> None:
+            if stats is not None:
+                stats.cache_evictions += 1
+
+        def on_corrupt() -> None:
+            if stats is not None:
+                stats.cache_corruptions += 1
+
+        return CodeCache(
+            capacity=capacity, checksum=entry_checksum, faults=faults,
+            on_evict=on_evict, on_corrupt=on_corrupt,
+        )
 
     def new_emission_id(self) -> int:
         self._emission_counter += 1
@@ -75,7 +123,7 @@ class DycRuntime:
         policy = self.effective_policy(instr.policy)
         cache = self.entry_caches.get(region_id)
         if cache is None:
-            cache = self.make_cache(policy)
+            cache = self.make_cache(policy, stats=stats)
             self.entry_caches[region_id] = cache
 
         try:
@@ -83,7 +131,8 @@ class DycRuntime:
         except KeyError as missing:
             raise SpecializationError(
                 f"region {region_id}: promoted variable {missing} is "
-                "undefined at region entry"
+                "undefined at region entry",
+                region_id=region_id,
             ) from None
 
         result = cache.lookup(key)
@@ -101,9 +150,36 @@ class DycRuntime:
         if result.hit:
             code: SpecializedCode = result.value
         else:
-            code = self.specializer.specialize_entry(
-                genext, machine, dict(zip(instr.keys, key))
-            )
+            entry_env = dict(zip(instr.keys, key))
+            quarantine_key = (region_id, key)
+            if quarantine_key in self._quarantined:
+                # Circuit breaker: this context keeps failing — skip the
+                # doomed specialization attempts entirely.
+                stats.quarantine_skips += 1
+                return self._exec_fallback(machine, instr, genext, env,
+                                           stats)
+            try:
+                code = self.specializer.specialize_entry(
+                    genext, machine, entry_env
+                )
+            except SpecializationError:
+                if not self.degrade:
+                    raise
+                # Rung 2: one fresh attempt (transient faults — and the
+                # injected ``once``/``at=N`` modes — clear on retry).
+                stats.specialization_failures += 1
+                code = self._respecialize_entry(genext, machine,
+                                                entry_env, stats)
+            if code is None:
+                # Rung 3: run the region unspecialized; rung 4 after
+                # ``quarantine_after`` consecutive dispatch failures.
+                failures = self._failures.get(quarantine_key, 0) + 1
+                self._failures[quarantine_key] = failures
+                if failures >= self.quarantine_after:
+                    self._quarantined.add(quarantine_key)
+                    stats.quarantined_contexts += 1
+                return self._exec_fallback(machine, instr, genext, env,
+                                           stats)
             cache.insert(key, code)
             machine.charge_dc(self.overhead.cache_store)
             stats.dc_cycles += self.overhead.cache_store
@@ -111,6 +187,34 @@ class DycRuntime:
         kind, payload = machine.exec_region_code(
             code.function, env, code.footprint
         )
+        if kind == "exit":
+            return ("jump", instr.exits[payload])
+        return ("return", payload)
+
+    def _respecialize_entry(self, genext, machine, entry_env: dict,
+                            stats) -> SpecializedCode | None:
+        try:
+            code = self.specializer.specialize_entry(
+                genext, machine, entry_env, attempt=2
+            )
+        except SpecializationError:
+            stats.specialization_failures += 1
+            return None
+        stats.respecializations += 1
+        return code
+
+    def _exec_fallback(self, machine: Machine, instr, genext, env: dict,
+                       stats):
+        """Bottom rung: execute the region's unspecialized template."""
+        region = genext.region
+        fallback = self._fallbacks.get(region.region_id)
+        if fallback is None:
+            fn = build_fallback_function(region)
+            fallback = (fn, fn.instruction_count())
+            self._fallbacks[region.region_id] = fallback
+        stats.fallback_executions += 1
+        fn, footprint = fallback
+        kind, payload = machine.exec_region_code(fn, env, footprint)
         if kind == "exit":
             return ("jump", instr.exits[payload])
         return ("return", payload)
@@ -143,9 +247,30 @@ class DycRuntime:
 
         if result.hit:
             return result.value
-        label = self.specializer.specialize_continuation(
-            pending, machine, values
-        )
+        try:
+            label = self.specializer.specialize_continuation(
+                pending, machine, values
+            )
+        except SpecializationError:
+            if not self.degrade:
+                raise
+            stats.specialization_failures += 1
+            label = None
+            try:
+                label = self.specializer.specialize_continuation(
+                    pending, machine, values, attempt=2
+                )
+                stats.respecializations += 1
+            except SpecializationError:
+                stats.specialization_failures += 1
+            if label is None:
+                # A promotion has no "run unspecialized" rung of its own
+                # — the region is already executing specialized code — so
+                # the continuation is residualized as dynamic code, which
+                # is correct for any promoted values.
+                label = self.specializer.residualize_continuation(
+                    pending, machine, values
+                )
         pending.cache.insert(values, label)
         machine.charge_dc(self.overhead.cache_store)
         stats.dc_cycles += self.overhead.cache_store

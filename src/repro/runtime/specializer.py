@@ -37,7 +37,7 @@ from repro.dyc.genext import (
     TermReturn,
     TermStatic,
 )
-from repro.errors import SpecializationError
+from repro.errors import SpecializationBudgetError, SpecializationError
 from repro.ir.eval import eval_binop, eval_unop
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import (
@@ -46,6 +46,7 @@ from repro.ir.instructions import (
     Call,
     ExitRegion,
     Imm,
+    Instr,
     Jump,
     Load,
     Move,
@@ -56,6 +57,7 @@ from repro.ir.instructions import (
     UnOp,
 )
 from repro.runtime.emit import BlockEmitter
+from repro.runtime.fallback import dynamic_arm, ensure_dynamic_blocks
 
 #: Safety valve against runaway specialization (e.g. an unbounded loop
 #: whose bound was wrongly annotated static).
@@ -76,10 +78,23 @@ class SpecializedCode:
     #: Labels cached externally (entry/promotion caches): never deleted.
     protected_labels: set[str] = field(default_factory=set)
     label_counter: int = 0
+    #: template label -> label of its fully dynamic copy, built lazily by
+    #: budget truncation (see :mod:`repro.runtime.fallback`).
+    dynamic_labels: dict[str, str] = field(default_factory=dict)
 
     def fresh_label(self, hint: str) -> str:
         self.label_counter += 1
         return f"{hint}${self.label_counter}"
+
+    def cache_identity(self) -> tuple:
+        """Stable identity fields for code-cache entry checksums.
+
+        Lazy promotions mutate the block map of a cached code version in
+        place, so the checksum covers only fields that are fixed at
+        creation (the entry label is a batch-entry label, protected from
+        jump threading, hence stable too).
+        """
+        return (self.region_id, self.function.name, self.function.entry)
 
 
 @dataclass
@@ -120,9 +135,14 @@ class Specializer:
     # ------------------------------------------------------------------
 
     def specialize_entry(self, genext: GeneratingExtension, machine,
-                         entry_values: dict) -> SpecializedCode:
+                         entry_values: dict,
+                         attempt: int = 1) -> SpecializedCode:
         """Build the code version for one tuple of region-entry values."""
         region = genext.region
+        self._maybe_fault(
+            "specializer.entry", region_id=region.region_id,
+            context_key=tuple(entry_values.values()), attempt=attempt,
+        )
         stats = self.runtime.stats.for_region(
             region.region_id, region.function_name
         )
@@ -157,8 +177,13 @@ class Specializer:
         return code
 
     def specialize_continuation(self, pending: PendingPromotion, machine,
-                                values: tuple) -> str:
+                                values: tuple, attempt: int = 1) -> str:
         """Lazily specialize a promotion continuation for ``values``."""
+        self._maybe_fault(
+            "specializer.continuation",
+            region_id=pending.code.region_id,
+            context_key=tuple(values), attempt=attempt,
+        )
         store = dict(pending.store)
         store.update(zip(pending.point_names, values))
         label = pending.code.fresh_label("cont")
@@ -172,6 +197,61 @@ class Specializer:
         self._run_batch(pending.code, pending.genext, machine, [task],
                         setup=self.runtime.overhead.promote_setup)
         return label
+
+    def residualize_continuation(self, pending: PendingPromotion,
+                                 machine, values: tuple) -> str:
+        """Degraded promotion rung: residualize instead of specializing.
+
+        When specializing a promotion continuation keeps failing, the
+        continuation is emitted as ordinary dynamic code — the promoted
+        values and suspended static store become constant moves and
+        control jumps into the fully dynamic template copies.  Correct
+        for *any* promoted values, at interpreted-template speed.
+        """
+        code = pending.code
+        genext = pending.genext
+        overhead = self.runtime.overhead
+        stats = self.runtime.stats.for_region(
+            genext.region.region_id, genext.region.function_name
+        )
+        dc_account = [overhead.promote_setup]
+
+        def charge(cycles: float) -> None:
+            dc_account[0] += cycles
+
+        before_instrs = code.function.instruction_count()
+        store = dict(pending.store)
+        store.update(zip(pending.point_names, values))
+        label = code.fresh_label("dyncont")
+        task = _Task(
+            label=label,
+            block_key=pending.block_key,
+            action_index=pending.action_index,
+            store=store,
+            frames=dict(pending.frames),
+        )
+        self._emit_truncation(code, genext, task, stats, charge)
+        code.protected_labels.add(label)
+        code.function.bump_version()
+        new_instrs = code.function.instruction_count() - before_instrs
+        charge(overhead.icache_flush_base
+               + overhead.icache_flush_per_instr * new_instrs)
+        stats.instructions_generated += new_instrs
+        stats.dc_cycles += dc_account[0]
+        machine.charge_dc(dc_account[0])
+        code.footprint = code.function.instruction_count()
+        stats.residualized_continuations += 1
+        return label
+
+    def _maybe_fault(self, point: str, *, region_id, context_key,
+                     attempt) -> None:
+        faults = self.runtime.faults
+        if faults.active and faults.should_fire(point):
+            raise SpecializationError(
+                f"injected fault at {point}",
+                region_id=region_id, context_key=context_key,
+                fault_point=point, attempt=attempt,
+            )
 
     # ------------------------------------------------------------------
     # Batch driver
@@ -190,16 +270,33 @@ class Specializer:
             dc_account[0] += cycles
 
         before_instrs = code.function.instruction_count()
+        budget = (self.runtime.config.specialize_budget
+                  or MAX_CONTEXTS_PER_BATCH)
+        faults = self.runtime.faults
+        if faults.active and faults.should_fire("specializer.budget"):
+            budget = 0  # collapse the budget: every context truncates
         worklist: deque[_Task] = deque(tasks)
         processed = 0
         while worklist:
             processed += 1
-            if processed > MAX_CONTEXTS_PER_BATCH:
-                raise SpecializationError(
-                    f"region {genext.region.region_id}: specialization "
-                    f"exceeded {MAX_CONTEXTS_PER_BATCH} contexts — "
-                    "an annotated loop may not terminate statically"
-                )
+            if processed > budget:
+                if not self.runtime.degrade:
+                    raise SpecializationBudgetError(
+                        f"region {genext.region.region_id}: "
+                        f"specialization exceeded {budget} contexts — "
+                        "an annotated loop may not terminate statically",
+                        region_id=genext.region.region_id,
+                    )
+                # Graceful rung: residualize every unfinished context as
+                # ordinary dynamic code (the unrolling that ran away
+                # becomes a plain loop) and keep the contexts already
+                # specialized.
+                while worklist:
+                    task = worklist.popleft()
+                    self._emit_truncation(code, genext, task, stats,
+                                          charge)
+                    stats.budget_truncations += 1
+                break
             task = worklist.popleft()
             self._process_task(code, genext, machine, task, worklist,
                                stats, charge)
@@ -228,7 +325,7 @@ class Specializer:
         overhead = self.runtime.overhead
         action_block = genext.block(task.block_key)
         emitter = BlockEmitter(self.runtime.config, overhead, stats,
-                               charge)
+                               charge, faults=self.runtime.faults)
         store = task.store
         charge(overhead.block_alloc)
         stats.contexts_specialized += 1
@@ -277,6 +374,85 @@ class Specializer:
             terminator = self._finish_terminator(
                 code, genext, action_block, store, emitter, worklist,
                 stats, charge, task.frames,
+            )
+
+        instrs = emitter.flush(terminator)
+        code.function.blocks[task.label] = BasicBlock(task.label, instrs)
+
+    # ------------------------------------------------------------------
+    # Budget truncation (dynamic residualization)
+    # ------------------------------------------------------------------
+
+    def _emit_truncation(self, code: SpecializedCode,
+                         genext: GeneratingExtension, task: _Task,
+                         stats, charge) -> None:
+        """Finish ``task``'s block as ordinary dynamic code.
+
+        The block residualizes the whole static store, replays the
+        remaining template actions verbatim (statics are in the
+        environment now, so the unfilled holes read the right values),
+        and transfers into the fully dynamic template copies built by
+        :func:`ensure_dynamic_blocks` — no further contexts are minted.
+        """
+        overhead = self.runtime.overhead
+        mapping = ensure_dynamic_blocks(code, genext, charge,
+                                        overhead.emit_instruction)
+        exit_index = {
+            label: i for i, label in enumerate(genext.region.exits)
+        }
+        # A plain emitter: no faults (truncation is the recovery path)
+        # and no plans, so nothing is folded or elided.
+        emitter = BlockEmitter(self.runtime.config, overhead, stats,
+                               charge)
+        charge(overhead.block_alloc)
+        for name in sorted(task.store):
+            emitter.emit_residual(name, task.store[name])
+
+        action_block = genext.block(task.block_key)
+        actions = action_block.actions
+        for index in range(task.action_index, len(actions)):
+            action = actions[index]
+            if isinstance(action, (EvalAction, EmitAction)):
+                emitter.emit_raw(action.instr)
+            elif isinstance(action, PromoteAction):
+                if action.emit is not None:
+                    emitter.emit_raw(action.emit.instr)
+            # ResidualAction: the whole store was residualized above.
+
+        def arm(template_target: str) -> str:
+            kind, payload = action_block.succ_info[template_target]
+            if kind == "exit":
+                return dynamic_arm(code, template_target, mapping,
+                                   exit_index, charge,
+                                   overhead.emit_instruction)
+            return mapping[payload[0]]
+
+        term = action_block.terminator
+        charge(overhead.emit_instruction)
+        if isinstance(term, TermJump):
+            kind, payload = action_block.succ_info[term.target]
+            if kind == "exit":
+                terminator: Instr = ExitRegion(payload)
+            else:
+                terminator = Jump(mapping[payload[0]])
+        elif isinstance(term, (TermStatic, TermDynamic)):
+            instr = (term.instr if isinstance(term, TermStatic)
+                     else term.action.instr)
+            cond = emitter.prepare_terminator_operand(instr.cond, {})
+            terminator = Branch(cond, arm(instr.if_true),
+                                arm(instr.if_false))
+        elif isinstance(term, TermReturn):
+            instr = term.action.instr
+            if instr.value is None:
+                terminator = Return(None)
+            else:
+                terminator = Return(
+                    emitter.prepare_terminator_operand(instr.value, {})
+                )
+        else:  # pragma: no cover - defensive
+            raise SpecializationError(
+                f"unknown terminator {type(term).__name__}",
+                region_id=genext.region.region_id,
             )
 
         instrs = emitter.flush(terminator)
@@ -376,7 +552,7 @@ class Specializer:
             store=dict(store),
             point_names=point.names,
             policy=policy,
-            cache=self.runtime.make_cache(policy),
+            cache=self.runtime.make_cache(policy, stats=stats),
             frames=dict(task.frames),
         )
         self.runtime.register_pending(pending)

@@ -32,6 +32,17 @@ class RegionStats:
     instructions_generated: int = 0
     dc_cycles: float = 0.0
 
+    # --- degradation ladder (all zero on a clean run) -------------------
+    specialization_failures: int = 0   # failed specialize attempts
+    respecializations: int = 0         # rung-2 retries that succeeded
+    fallback_executions: int = 0       # unspecialized region executions
+    quarantined_contexts: int = 0      # (region, context) circuit-breaks
+    quarantine_skips: int = 0          # dispatches short-circuited by one
+    budget_truncations: int = 0        # contexts residualized dynamically
+    residualized_continuations: int = 0  # promotions degraded dynamically
+    cache_evictions: int = 0           # bounded-cache clock evictions
+    cache_corruptions: int = 0         # checksum-mismatch hits recovered
+
     # --- optimization usage (Table 2) -----------------------------------
     static_instrs_folded: int = 0
     static_loads_folded: int = 0
@@ -142,6 +153,25 @@ class RegionStats:
         return self.unchecked_dispatches > 0
 
     @property
+    def degraded(self) -> bool:
+        """Did this region leave the fully specialized path at any point?
+
+        Plain clock evictions are *not* degradation — a bounded cache
+        operating normally re-specializes on capacity misses by design —
+        but failures, fallbacks, truncations, and corruption recoveries
+        all are.
+        """
+        return bool(
+            self.specialization_failures
+            or self.fallback_executions
+            or self.quarantined_contexts
+            or self.quarantine_skips
+            or self.budget_truncations
+            or self.residualized_continuations
+            or self.cache_corruptions
+        )
+
+    @property
     def overhead_per_instruction(self) -> float:
         """Table 3's "DC overhead (cycles/instruction generated)"."""
         if not self.instructions_generated:
@@ -172,3 +202,7 @@ class RuntimeStats:
     @property
     def total_dc_cycles(self) -> float:
         return sum(r.dc_cycles for r in self.regions.values())
+
+    @property
+    def degraded(self) -> bool:
+        return any(r.degraded for r in self.regions.values())

@@ -58,6 +58,34 @@ def report(name: str, dump: bool, backend: str | None = None) -> None:
             used.append(f"divisions ({stats.divisions_used})")
         print(f"  region {region_id}: {', '.join(used) or 'plain'}")
     print(f"  outputs verified: {result.outputs_match}")
+    if result.degraded:
+        parts = []
+        for region_id, stats in sorted(result.region_stats.items()):
+            if not stats.degraded:
+                continue
+            detail = []
+            if stats.specialization_failures:
+                detail.append(f"{stats.specialization_failures} failed "
+                              "specializations")
+            if stats.respecializations:
+                detail.append(f"{stats.respecializations} retried")
+            if stats.fallback_executions:
+                detail.append(f"{stats.fallback_executions} fallback "
+                              "runs")
+            if stats.quarantined_contexts:
+                detail.append(f"{stats.quarantined_contexts} "
+                              "quarantined")
+            if stats.budget_truncations:
+                detail.append(f"{stats.budget_truncations} budget "
+                              "truncations")
+            if stats.residualized_continuations:
+                detail.append(f"{stats.residualized_continuations} "
+                              "residualized continuations")
+            if stats.cache_corruptions:
+                detail.append(f"{stats.cache_corruptions} corrupt "
+                              "cache hits")
+            parts.append(f"region {region_id}: {', '.join(detail)}")
+        print(f"  DEGRADED — {'; '.join(parts)}")
     if dump:
         # Re-run to capture the emitted code.
         from repro.dyc import compile_annotated

@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import CacheError
-from repro.runtime.cache import CodeCache, LookupResult, UncheckedCache
+from repro.faults import FaultRegistry
+from repro.runtime.cache import (
+    CodeCache,
+    LookupResult,
+    UncheckedCache,
+    entry_checksum,
+)
 
 keys = st.tuples(st.integers(min_value=-10**6, max_value=10**6),
                  st.integers(min_value=0, max_value=255))
@@ -135,6 +141,115 @@ class TestCodeCache:
         assert len(cache) == len(model)
 
 
+class TestBoundedCache:
+    def test_capacity_bounds_live_entries(self):
+        cache = CodeCache(capacity=4)
+        for k in range(10):
+            cache.insert((k,), k)
+        assert len(cache) == 4
+        assert cache.evictions == 6
+        assert cache.lookup((9,)).hit  # the newest insert survives
+
+    def test_reinsert_same_key_does_not_evict(self):
+        cache = CodeCache(capacity=2)
+        cache.insert((1,), "a")
+        cache.insert((2,), "b")
+        cache.insert((1,), "a2")  # overwrite, not a new entry
+        assert cache.evictions == 0
+        assert cache.lookup((1,)).value == "a2"
+        assert cache.lookup((2,)).value == "b"
+
+    def test_second_chance_spares_referenced_entry(self):
+        cache = CodeCache(capacity=2)
+        cache.insert((1,), "a")
+        cache.insert((2,), "b")
+        # Mark (1,) recently-used and (2,) cold; the clock must give
+        # (1,) its second chance and evict (2,).
+        cache._ref = [key == (1,) for key in cache._keys]
+        cache.insert((3,), "c")
+        assert cache.lookup((1,)).hit
+        assert not cache.lookup((2,)).hit
+        assert cache.lookup((3,)).hit
+
+    def test_tombstones_recycled_not_grown(self):
+        # Sustained insert/evict churn must not balloon the table:
+        # rehashes drop tombstones and the size stays at its floor.
+        cache = CodeCache(initial_size=16, capacity=2)
+        for k in range(200):
+            cache.insert((k,), k)
+        assert len(cache) == 2
+        assert cache._size == 16
+        assert cache.evictions == 198
+
+    def test_eviction_then_miss_then_reinsert(self):
+        cache = CodeCache(capacity=1)
+        cache.insert((1,), "a")
+        cache.insert((2,), "b")
+        assert not cache.lookup((1,)).hit  # evicted
+        cache.insert((1,), "a")           # caller re-specialized
+        assert cache.lookup((1,)).value == "a"
+
+    def test_on_evict_callback(self):
+        calls = []
+        cache = CodeCache(capacity=1, on_evict=lambda: calls.append(1))
+        cache.insert((1,), "a")
+        cache.insert((2,), "b")
+        assert calls == [1]
+
+
+class TestChecksummedCache:
+    def test_clean_entries_verify(self):
+        cache = CodeCache(checksum=entry_checksum)
+        cache.insert((1,), "payload")
+        assert cache.lookup((1,)).value == "payload"
+        assert cache.corrupt_hits == 0
+
+    def test_injected_corruption_detected_and_recovered(self):
+        faults = FaultRegistry.from_spec("cache.corrupt:once")
+        calls = []
+        cache = CodeCache(checksum=entry_checksum, faults=faults,
+                          on_corrupt=lambda: calls.append(1))
+        cache.insert((1,), "payload")   # stamp is written corrupted
+        result = cache.lookup((1,))
+        assert not result.hit
+        assert cache.corrupt_hits == 1
+        assert calls == [1]
+        assert len(cache) == 0          # the bad entry was deleted
+        cache.insert((1,), "payload")   # re-specialize: fault was once
+        assert cache.lookup((1,)).value == "payload"
+
+    def test_manual_stamp_flip_detected(self):
+        cache = CodeCache(checksum=entry_checksum)
+        cache.insert((7,), "v")
+        index = next(i for i, key in enumerate(cache._keys)
+                     if key == (7,))
+        cache._stamps[index] ^= 1
+        assert not cache.lookup((7,)).hit
+        assert cache.corrupt_hits == 1
+
+    def test_corruption_survives_rehash(self):
+        # _grow carries stamps verbatim, so a corrupt entry must still
+        # be caught after the table rebuilds.
+        faults = FaultRegistry.from_spec("cache.corrupt:once")
+        cache = CodeCache(initial_size=4, checksum=entry_checksum,
+                          faults=faults)
+        cache.insert((0,), "bad")       # corrupted stamp
+        for k in range(1, 20):
+            cache.insert((k,), k)       # forces several rehashes
+        assert not cache.lookup((0,)).hit
+        assert cache.corrupt_hits == 1
+        for k in range(1, 20):
+            assert cache.lookup((k,)).hit
+
+    def test_evict_fault_forces_eviction(self):
+        faults = FaultRegistry.from_spec("cache.evict:at=2")
+        cache = CodeCache(faults=faults)
+        cache.insert((1,), "a")
+        cache.insert((2,), "b")   # 2nd insert fires: evicts a victim
+        assert len(cache) == 1
+        assert cache.evictions == 1
+
+
 class TestUncheckedCache:
     def test_first_lookup_misses(self):
         cache = UncheckedCache()
@@ -172,3 +287,18 @@ class TestUncheckedCache:
         cache = UncheckedCache()
         cache.insert((1,), "v")
         assert cache.lookup((1,)).probes == 1
+
+    def test_strict_semantics_unchanged_with_faults_armed(self,
+                                                          monkeypatch):
+        # The unchecked slot has no checksum/eviction machinery, so
+        # armed cache faults must not alter its documented behavior:
+        # stale wrong-key hits without strict, a raise with it.
+        monkeypatch.setenv("REPRO_FAULTS",
+                           "cache.corrupt:always;cache.evict:always")
+        loose = UncheckedCache()
+        loose.insert((1,), "for-1")
+        assert loose.lookup((999,)).value == "for-1"
+        strict = UncheckedCache(strict=True)
+        strict.insert((1,), "v")
+        with pytest.raises(CacheError, match="unsafe"):
+            strict.lookup((2,))
