@@ -1,0 +1,141 @@
+"""Module call graph: call sites, Tarjan SCCs, bottom-up ordering.
+
+The interprocedural analyses (:mod:`repro.analysis.effects`) and the
+specialization-safety prover walk functions *bottom-up* — callees
+before callers — so a caller's summary can be computed from finished
+callee summaries in one pass, with a local fixpoint only inside
+strongly connected components (mutual recursion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.ir.function import Module
+from repro.ir.instructions import Call
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One ``Call`` instruction: where it is and what it invokes."""
+
+    caller: str
+    block: str
+    index: int
+    callee: str
+    instr: Call
+
+
+@dataclass
+class CallGraph:
+    """Callees per function, split into module-internal and external.
+
+    ``external`` callees are intrinsics or unresolved names; they have
+    no IR body and are summarized from the intrinsics table (or
+    pessimistically, when unknown) by the effect analysis.
+    """
+
+    module: Module
+    internal: dict[str, frozenset[str]] = field(default_factory=dict)
+    external: dict[str, frozenset[str]] = field(default_factory=dict)
+    sites: dict[str, tuple[CallSite, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, module: Module) -> CallGraph:
+        graph = cls(module=module)
+        for name, function in module.functions.items():
+            internal: set[str] = set()
+            external: set[str] = set()
+            sites: list[CallSite] = []
+            for block, index, instr in function.instructions():
+                if not isinstance(instr, Call):
+                    continue
+                sites.append(CallSite(
+                    caller=name, block=block.label, index=index,
+                    callee=instr.callee, instr=instr,
+                ))
+                if instr.callee in module.functions:
+                    internal.add(instr.callee)
+                else:
+                    external.add(instr.callee)
+            graph.internal[name] = frozenset(internal)
+            graph.external[name] = frozenset(external)
+            graph.sites[name] = tuple(sites)
+        return graph
+
+    def callers_of(self, callee: str) -> frozenset[str]:
+        return frozenset(
+            caller for caller, targets in self.internal.items()
+            if callee in targets
+        )
+
+    def sccs(self) -> list[frozenset[str]]:
+        """Strongly connected components, callees-first (bottom-up).
+
+        Tarjan's algorithm emits components in reverse topological
+        order of the condensation, which is exactly the order the
+        interprocedural fixpoint wants: every edge out of a component
+        points into an already-emitted one.
+        """
+        index_of: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        components: list[frozenset[str]] = []
+        counter = [0]
+
+        # Iterative Tarjan (explicit frames) — recursion depth would
+        # otherwise track the call-chain depth of the analyzed program.
+        for root in self.module.functions:
+            if root in index_of:
+                continue
+            frames: list[tuple[str, Iterator[str]]] = [
+                (root, iter(sorted(self.internal[root])))
+            ]
+            index_of[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while frames:
+                node, children = frames[-1]
+                advanced = False
+                for child in children:
+                    if child not in index_of:
+                        index_of[child] = lowlink[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        frames.append(
+                            (child, iter(sorted(self.internal[child])))
+                        )
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node],
+                                            index_of[child])
+                if advanced:
+                    continue
+                frames.pop()
+                if frames:
+                    parent = frames[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component: set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(component))
+        return components
+
+    def is_recursive(self, name: str) -> bool:
+        """True when ``name`` sits on a call cycle (including self)."""
+        if name in self.internal.get(name, ()):
+            return True
+        for component in self.sccs():
+            if name in component:
+                return len(component) > 1
+        return False

@@ -79,7 +79,7 @@ def immediate_dominators(function: Function) -> dict[str, str | None]:
     return idom
 
 
-def dominators(function: Function) -> dict[str, set[str]]:
+def dominator_sets(function: Function) -> dict[str, set[str]]:
     """Full dominator sets (including the block itself)."""
     idom = immediate_dominators(function)
     doms: dict[str, set[str]] = {}
@@ -93,9 +93,28 @@ def dominators(function: Function) -> dict[str, set[str]]:
     return doms
 
 
+def dominators(function: Function) -> dict[str, set[str]]:
+    """Deprecated alias for :func:`dominator_sets`.
+
+    The old name collided with the :mod:`repro.analysis.dominators`
+    submodule, which forced a deliberate rebinding hack in the package
+    ``__init__``.  Use :func:`dominator_sets` (or
+    :class:`repro.analysis.dominators.DominatorTree` for O(1) queries).
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.analysis.cfg.dominators() is deprecated; "
+        "use dominator_sets()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return dominator_sets(function)
+
+
 def back_edges(function: Function) -> list[tuple[str, str]]:
     """CFG edges (tail, head) where ``head`` dominates ``tail``."""
-    doms = dominators(function)
+    doms = dominator_sets(function)
     edges = []
     for label, block in function.blocks.items():
         if label not in doms:

@@ -15,14 +15,19 @@ the entry.  Two cooperating mechanisms answer that:
 ``EnterRegion`` terminators transfer to "everything assigned": the
 dispatched dynamic region runs the original region body, which may
 define any variable, before resuming at an exit label.
+
+The must-analysis is a client of the generic engine in
+:mod:`repro.analysis.framework`; the original sweep survives as
+:func:`repro.analysis.legacy.legacy_definitely_assigned` for
+differential verification.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.cfg import reverse_postorder
 from repro.analysis.dominators import DominatorTree
+from repro.analysis.framework import SetIntersectProblem, solve
 from repro.ir.function import Function
 from repro.ir.instructions import EnterRegion
 
@@ -62,6 +67,28 @@ def unreachable_blocks(function: Function) -> frozenset[str]:
     return frozenset(set(function.blocks) - reachable)
 
 
+class _DefiniteAssignment(SetIntersectProblem):
+    """Forward must: a name is assigned when every path assigns it."""
+
+    def __init__(self, function: Function) -> None:
+        self._universe = _all_names(function)
+
+    def universe(self, function: Function) -> frozenset:
+        return self._universe
+
+    def boundary(self, function: Function) -> frozenset:
+        return frozenset(function.params)
+
+    def transfer(self, function: Function, label: str,
+                 assigned: frozenset) -> frozenset:
+        current = set(assigned)
+        for instr in function.blocks[label].instrs:
+            if isinstance(instr, EnterRegion):
+                return self._universe
+            current.update(instr.defs())
+        return frozenset(current)
+
+
 def definitely_assigned(function: Function) -> dict[str, frozenset[str]]:
     """Variables definitely assigned at entry to each *reachable* block.
 
@@ -70,42 +97,7 @@ def definitely_assigned(function: Function) -> dict[str, frozenset[str]]:
     sets.  ``EnterRegion`` transfers to the full name universe (the
     region body may assign anything before execution resumes).
     """
-    universe = _all_names(function)
-    order = reverse_postorder(function)
-    in_sets: dict[str, frozenset[str]] = {}
-    preds = function.predecessors()
-
-    def transfer(label: str, assigned: frozenset[str]) -> frozenset[str]:
-        current = set(assigned)
-        for instr in function.blocks[label].instrs:
-            if isinstance(instr, EnterRegion):
-                return universe
-            current.update(instr.defs())
-        return frozenset(current)
-
-    out_sets: dict[str, frozenset[str]] = {}
-    changed = True
-    while changed:
-        changed = False
-        for label in order:
-            if label == function.entry:
-                new_in = frozenset(function.params)
-            else:
-                met: frozenset[str] | None = None
-                for pred in preds[label]:
-                    if pred not in out_sets:
-                        continue  # not yet visited (back edge) / dead
-                    met = (out_sets[pred] if met is None
-                           else met & out_sets[pred])
-                new_in = universe if met is None else met
-            if in_sets.get(label) != new_in:
-                in_sets[label] = new_in
-                changed = True
-            new_out = transfer(label, new_in)
-            if out_sets.get(label) != new_out:
-                out_sets[label] = new_out
-                changed = True
-    return in_sets
+    return solve(function, _DefiniteAssignment(function)).before
 
 
 def use_before_def(function: Function,

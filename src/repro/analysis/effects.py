@@ -1,0 +1,231 @@
+"""Interprocedural side-effect and escape summaries.
+
+Bottom-up over the call graph's SCCs (:mod:`repro.analysis.callgraph`),
+each function gets an :class:`EffectSummary`: whether it may write or
+read memory, whether it has observable effects (transitively calls an
+impure intrinsic such as ``print_val``), and — attributed per
+parameter via address-root tracing — which parameters' reachable
+memory it may write, read, or store away (escape).  Mutual recursion
+converges by a local fixpoint inside each SCC, starting from the
+optimistic bottom (no effects).
+
+Consumers:
+
+* the specialization-safety prover (``repro.lint --interprocedural``):
+  a ``pure``-annotated static call whose callee's summary is impure is
+  unsound to fold at dynamic compile time (DYC304); a static pointer
+  handed to a callee that writes through the matching parameter
+  invalidates ``@``-load invariance (DYC301);
+* :mod:`repro.autoannotate`'s admission check, which statically rejects
+  candidate annotation policies the prover cannot certify.
+
+Address-root tracing (:func:`address_root`) moved here from
+``repro.lint.annotations`` so the lint layer and the interprocedural
+analysis share one aliasing story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import CallGraph
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    Imm,
+    Instr,
+    Load,
+    Move,
+    Op,
+    Operand,
+    Reg,
+    Store,
+)
+
+_MAX_DEPTH = 32
+
+
+def address_root(function: Function, operand: Operand,
+                 defs: dict[str, list[Instr]],
+                 stack: frozenset[str] = frozenset(),
+                 depth: int = 0) -> str | None:
+    """The named base variable an address operand derives from.
+
+    Follows copy chains and the ``base + index`` shape the front end
+    lowers indexing to (the base is always the left operand).  Returns
+    ``None`` when the base cannot be traced to a single named variable
+    (loaded pointers, call results, merges of different bases) — such
+    addresses are treated as unrelated rather than as aliasing
+    everything, keeping false-positive rates near zero.
+    """
+    if depth > _MAX_DEPTH or not isinstance(operand, Reg):
+        return None
+    name = operand.name
+    if name in stack:
+        return None
+    defining = defs.get(name)
+    if not defining:
+        return name  # parameter (or undefined): the root itself
+    stack = stack | {name}
+    roots: set[str | None] = set()
+    for instr in defining:
+        if isinstance(instr, Move):
+            roots.add(address_root(function, instr.src, defs, stack,
+                                   depth + 1))
+        elif isinstance(instr, BinOp) and instr.op in (Op.ADD, Op.SUB):
+            root = address_root(function, instr.lhs, defs, stack,
+                                depth + 1)
+            if root is None and isinstance(instr.lhs, Imm):
+                # ``Imm + reg`` never appears in lowered addressing, but
+                # a commuted form after optimization still has a single
+                # register operand to chase.
+                root = address_root(function, instr.rhs, defs, stack,
+                                    depth + 1)
+            roots.add(root)
+        else:
+            roots.add(None)
+    roots.discard(None)
+    if len(roots) == 1:
+        return roots.pop()
+    return None
+
+
+def def_index(function: Function) -> dict[str, list[Instr]]:
+    """All defining instructions per variable name."""
+    defs: dict[str, list[Instr]] = {}
+    for _, _, instr in function.instructions():
+        for name in instr.defs():
+            defs.setdefault(name, []).append(instr)
+    return defs
+
+
+@dataclass(frozen=True)
+class EffectSummary:
+    """What one function may do to the world, transitively."""
+
+    function: str
+    #: May execute a ``Store`` (directly or via a callee).
+    writes_memory: bool = False
+    #: May execute a dynamic or ``@`` ``Load`` (directly or via callee).
+    reads_memory: bool = False
+    #: May produce output or other non-memory observable effects
+    #: (transitively reaches an impure intrinsic or an unknown callee).
+    observable_effects: bool = False
+    #: Parameters whose reachable memory the function may write.
+    writes_params: frozenset[str] = field(default_factory=frozenset)
+    #: Parameters whose reachable memory the function may read.
+    reads_params: frozenset[str] = field(default_factory=frozenset)
+    #: Parameters whose value may be stored into memory or handed to an
+    #: unknown callee — the binding-time escape set: a static value
+    #: escaping this way can be mutated behind the BTA's back.
+    escapes_params: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def pure(self) -> bool:
+        """Safe to fold at dynamic compile time (the ``pure``/static
+        call contract): no writes, no observable effects.  Memory
+        *reads* are permitted — folding then caches the read exactly
+        like an ``@``-load caches its location."""
+        return not (self.writes_memory or self.observable_effects)
+
+
+def _summarize(function: Function, module: Module,
+               summaries: dict[str, EffectSummary]) -> EffectSummary:
+    from repro.machine.intrinsics import INTRINSICS
+
+    defs = def_index(function)
+    params = frozenset(function.params)
+    writes_memory = reads_memory = observable = False
+    writes_params: set[str] = set()
+    reads_params: set[str] = set()
+    escapes: set[str] = set()
+
+    def param_root(operand: Operand) -> str | None:
+        root = address_root(function, operand, defs)
+        return root if root in params else None
+
+    for _, _, instr in function.instructions():
+        if isinstance(instr, Store):
+            writes_memory = True
+            root = param_root(instr.addr)
+            if root is not None:
+                writes_params.add(root)
+            stored = param_root(instr.value)
+            if stored is not None:
+                escapes.add(stored)
+        elif isinstance(instr, Load):
+            reads_memory = True
+            root = param_root(instr.addr)
+            if root is not None:
+                reads_params.add(root)
+        elif isinstance(instr, Call):
+            callee = instr.callee
+            if callee in module.functions:
+                summary = summaries.get(callee)
+                if summary is None:
+                    continue  # same-SCC callee at optimistic bottom
+                writes_memory |= summary.writes_memory
+                reads_memory |= summary.reads_memory
+                observable |= summary.observable_effects
+                callee_params = module.functions[callee].params
+                for position, arg in enumerate(instr.args):
+                    if position >= len(callee_params):
+                        break
+                    root = param_root(arg)
+                    if root is None:
+                        continue
+                    formal = callee_params[position]
+                    if formal in summary.writes_params:
+                        writes_params.add(root)
+                    if formal in summary.reads_params:
+                        reads_params.add(root)
+                    if formal in summary.escapes_params:
+                        escapes.add(root)
+            else:
+                intrinsic = INTRINSICS.get(callee)
+                if intrinsic is None:
+                    # Unknown callee: assume the worst on every axis.
+                    writes_memory = reads_memory = observable = True
+                    for arg in instr.args:
+                        root = param_root(arg)
+                        if root is not None:
+                            writes_params.add(root)
+                            reads_params.add(root)
+                            escapes.add(root)
+                elif not intrinsic.pure:
+                    # Impure intrinsics (print_val) produce output but,
+                    # per the intrinsics table, write no program memory.
+                    observable = True
+
+    return EffectSummary(
+        function=function.name,
+        writes_memory=writes_memory,
+        reads_memory=reads_memory,
+        observable_effects=observable,
+        writes_params=frozenset(writes_params),
+        reads_params=frozenset(reads_params),
+        escapes_params=frozenset(escapes),
+    )
+
+
+def effect_summaries(module: Module,
+                     graph: CallGraph | None = None
+                     ) -> dict[str, EffectSummary]:
+    """Summaries for every function, SCCs solved bottom-up."""
+    if graph is None:
+        graph = CallGraph.build(module)
+    summaries: dict[str, EffectSummary] = {}
+    for component in graph.sccs():
+        members = sorted(component)
+        changed = True
+        while changed:
+            changed = False
+            for name in members:
+                summary = _summarize(
+                    module.functions[name], module, summaries
+                )
+                if summaries.get(name) != summary:
+                    summaries[name] = summary
+                    changed = True
+    return summaries

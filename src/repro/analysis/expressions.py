@@ -1,0 +1,201 @@
+"""Expression-level dataflow: anticipated and available expressions.
+
+Both are must-clients of :mod:`repro.analysis.framework` over the same
+expression keys that local CSE uses (:func:`expression_of` is the single
+definition; :mod:`repro.opt.cse` imports it).
+
+* **Anticipated** (very busy) expressions — backward must: an expression
+  is anticipated at a point when *every* path from that point evaluates
+  it before any operand is redefined.  LICM consumes this to hoist
+  trapping instructions (divides, shifts) soundly: evaluating them in
+  the preheader cannot introduce a trap the original program would not
+  eventually hit.
+* **Available** expressions — forward must over ``(key, holder)``
+  pairs: at a point, ``holder`` still contains the value of ``key`` on
+  every incoming path.  Global CSE consumes this to reuse values across
+  block boundaries without inserting merge moves (the holder must be
+  the same register on all paths, which the pair lattice encodes for
+  free — differing holders meet to nothing).
+
+Loads participate in both until a ``Store`` or ``Call`` (which may
+alias them) kills every load key, mirroring local CSE's kill rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import (
+    BACKWARD,
+    FORWARD,
+    DataflowProblem,
+    solve,
+)
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    Instr,
+    Load,
+    Reg,
+    Store,
+    UnOp,
+    COMMUTATIVE_OPS,
+)
+
+
+def expression_of(instr: Instr):
+    """A hashable key identifying the pure expression ``instr`` computes,
+    or ``None`` for instructions that are not CSE/motion candidates.
+
+    Commutative binary operands are canonically ordered, so ``a + b``
+    and ``b + a`` share a key.  ``@``-annotated (static) loads are
+    excluded: they are specialization directives, not plain memory
+    reads, and must not be merged with dynamic loads of the same
+    address.
+    """
+    if isinstance(instr, BinOp):
+        lhs, rhs = instr.lhs, instr.rhs
+        if instr.op in COMMUTATIVE_OPS:
+            lhs, rhs = sorted((lhs, rhs), key=repr)
+        return ("bin", instr.op, lhs, rhs)
+    if isinstance(instr, UnOp):
+        return ("un", instr.op, instr.src)
+    if isinstance(instr, Load) and not instr.static:
+        return ("load", instr.addr)
+    return None
+
+
+def key_uses_name(key, name: str) -> bool:
+    """True when the expression key reads register ``name``."""
+    return any(
+        isinstance(part, Reg) and part.name == name for part in key
+    )
+
+
+def is_load_key(key) -> bool:
+    return key[0] == "load"
+
+
+def _function_keys(function: Function) -> frozenset:
+    keys = set()
+    for _, _, instr in function.instructions():
+        key = expression_of(instr)
+        if key is not None:
+            keys.add(key)
+    return frozenset(keys)
+
+
+# ----------------------------------------------------------------------
+# Anticipated (very busy) expressions — backward must
+# ----------------------------------------------------------------------
+
+class _AnticipatedExpressions(DataflowProblem[frozenset]):
+    direction = BACKWARD
+
+    def __init__(self, function: Function) -> None:
+        self._universe = _function_keys(function)
+        # use[B]: keys evaluated in B, upward-exposed (no earlier
+        # in-block redefinition of an operand, no earlier store/call for
+        # load keys).  kill[B]: keys whose operands B redefines, plus
+        # every load key when B may write memory.
+        self._use: dict[str, frozenset] = {}
+        self._kill: dict[str, frozenset] = {}
+        for label, block in function.blocks.items():
+            defined: set[str] = set()
+            wrote_memory = False
+            exposed: set = set()
+            for instr in block.instrs:
+                key = expression_of(instr)
+                if key is not None:
+                    operand_clean = not any(
+                        key_uses_name(key, name) for name in defined
+                    )
+                    load_clean = not (is_load_key(key) and wrote_memory)
+                    if operand_clean and load_clean:
+                        exposed.add(key)
+                if isinstance(instr, (Store, Call)):
+                    wrote_memory = True
+                defined.update(instr.defs())
+            self._use[label] = frozenset(exposed)
+            self._kill[label] = frozenset(
+                key for key in self._universe
+                if any(key_uses_name(key, name) for name in defined)
+                or (is_load_key(key) and wrote_memory)
+            )
+
+    def boundary(self, function: Function) -> frozenset:
+        # Nothing is anticipated past a function exit.
+        return frozenset()
+
+    def initial(self, function: Function, label: str) -> frozenset:
+        return self._universe
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a & b
+
+    def transfer(self, function: Function, label: str,
+                 anticipated_out: frozenset) -> frozenset:
+        return self._use[label] | (anticipated_out - self._kill[label])
+
+
+def anticipated_expressions(
+        function: Function) -> dict[str, frozenset]:
+    """Expressions every path from each block entry must evaluate.
+
+    Returns the anticipated-in set per reachable block.
+    """
+    return solve(function, _AnticipatedExpressions(function)).before
+
+
+# ----------------------------------------------------------------------
+# Available expressions — forward must over (key, holder) pairs
+# ----------------------------------------------------------------------
+
+class _AvailableExpressions(DataflowProblem[frozenset]):
+    direction = FORWARD
+
+    def __init__(self, function: Function) -> None:
+        pairs = set()
+        for _, _, instr in function.instructions():
+            key = expression_of(instr)
+            if key is not None:
+                pairs.add((key, instr.dest))
+        self._universe = frozenset(pairs)
+
+    def boundary(self, function: Function) -> frozenset:
+        return frozenset()
+
+    def initial(self, function: Function, label: str) -> frozenset:
+        return self._universe
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a & b
+
+    def transfer(self, function: Function, label: str,
+                 available: frozenset) -> frozenset:
+        pairs = set(available)
+        for instr in function.blocks[label].instrs:
+            if isinstance(instr, (Store, Call)):
+                pairs = {p for p in pairs if not is_load_key(p[0])}
+            defined = instr.defs()
+            if defined:
+                pairs = {
+                    (key, holder) for key, holder in pairs
+                    if holder not in defined
+                    and not any(key_uses_name(key, n) for n in defined)
+                }
+            key = expression_of(instr)
+            if key is not None and not any(
+                    key_uses_name(key, n) for n in defined):
+                # Self-redefinitions (x = x + 1) generate nothing: the
+                # key's operand no longer holds the value it names.
+                pairs.add((key, instr.dest))
+        return frozenset(pairs)
+
+
+def available_expressions(
+        function: Function) -> dict[str, frozenset]:
+    """``(key, holder)`` pairs valid on every path into each block.
+
+    Returns the available-in set per reachable block.
+    """
+    return solve(function, _AvailableExpressions(function)).before

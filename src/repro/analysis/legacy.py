@@ -1,0 +1,154 @@
+"""Reference implementations of the framework-ported analyses.
+
+These are the original chaotic-iteration fixpoint loops that
+:mod:`repro.analysis.liveness` and :mod:`repro.analysis.defuse` shipped
+before the generic engine existed.  They are kept verbatim for two
+consumers:
+
+* the differential test suite, which asserts the framework ports compute
+  *identical* results on every workload's IR;
+* :func:`verify_framework_analyses`, which the pass manager's debug mode
+  runs after every optimization pass so an engine or port regression
+  surfaces at the pass boundary, named, instead of as a wrong answer
+  downstream.
+
+Do not add new callers; use the framework ports.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import EnterRegion
+
+
+def legacy_liveness(function: Function) -> tuple[
+        dict[str, frozenset[str]], dict[str, frozenset[str]]]:
+    """The original round-robin liveness loop: ``(live_in, live_out)``."""
+    use: dict[str, set[str]] = {}
+    defs: dict[str, set[str]] = {}
+    for label, block in function.blocks.items():
+        upward: set[str] = set()
+        killed: set[str] = set()
+        for instr in block.instrs:
+            upward |= set(instr.uses()) - killed
+            killed |= set(instr.defs())
+        use[label] = upward
+        defs[label] = killed
+
+    live_in: dict[str, set[str]] = {label: set() for label in function.blocks}
+    live_out: dict[str, set[str]] = {
+        label: set() for label in function.blocks
+    }
+    succs = {
+        label: block.successors()
+        for label, block in function.blocks.items()
+    }
+
+    changed = True
+    while changed:
+        changed = False
+        for label in function.blocks:
+            out: set[str] = set()
+            for succ in succs[label]:
+                out |= live_in[succ]
+            new_in = use[label] | (out - defs[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+
+    return (
+        {k: frozenset(v) for k, v in live_in.items()},
+        {k: frozenset(v) for k, v in live_out.items()},
+    )
+
+
+def _all_names(function: Function) -> frozenset[str]:
+    names: set[str] = set(function.params)
+    for _, _, instr in function.instructions():
+        names.update(instr.defs())
+        names.update(instr.uses())
+    return frozenset(names)
+
+
+def legacy_definitely_assigned(
+        function: Function) -> dict[str, frozenset[str]]:
+    """The original forward must-analysis sweep over reachable blocks."""
+    from repro.analysis.cfg import reverse_postorder
+
+    universe = _all_names(function)
+    order = reverse_postorder(function)
+    in_sets: dict[str, frozenset[str]] = {}
+    preds = function.predecessors()
+
+    def transfer(label: str, assigned: frozenset[str]) -> frozenset[str]:
+        current = set(assigned)
+        for instr in function.blocks[label].instrs:
+            if isinstance(instr, EnterRegion):
+                return universe
+            current.update(instr.defs())
+        return frozenset(current)
+
+    out_sets: dict[str, frozenset[str]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == function.entry:
+                new_in = frozenset(function.params)
+            else:
+                met: frozenset[str] | None = None
+                for pred in preds[label]:
+                    if pred not in out_sets:
+                        continue  # not yet visited (back edge) / dead
+                    met = (out_sets[pred] if met is None
+                           else met & out_sets[pred])
+                new_in = universe if met is None else met
+            if in_sets.get(label) != new_in:
+                in_sets[label] = new_in
+                changed = True
+            new_out = transfer(label, new_in)
+            if out_sets.get(label) != new_out:
+                out_sets[label] = new_out
+                changed = True
+    return in_sets
+
+
+def verify_framework_analyses(function: Function) -> None:
+    """Raise :class:`repro.errors.IRError` if a framework port diverges
+    from its reference implementation on ``function``.
+
+    Run by ``PassManager(verify=True)`` after every pass that changed
+    the function, alongside the structural and dataflow verifiers.
+    """
+    from repro.analysis.defuse import definitely_assigned
+    from repro.analysis.liveness import liveness
+    from repro.errors import IRError
+
+    live = liveness(function)
+    ref_in, ref_out = legacy_liveness(function)
+    if dict(live.live_in) != ref_in or dict(live.live_out) != ref_out:
+        diff = [
+            label for label in function.blocks
+            if live.live_in.get(label) != ref_in.get(label)
+            or live.live_out.get(label) != ref_out.get(label)
+        ]
+        raise IRError(
+            f"framework liveness diverges from the reference "
+            f"implementation in {function.name!r} at block(s) "
+            f"{', '.join(sorted(diff))}"
+        )
+
+    assigned = definitely_assigned(function)
+    ref_assigned = legacy_definitely_assigned(function)
+    if assigned != ref_assigned:
+        diff = sorted(
+            set(assigned) ^ set(ref_assigned)
+            | {label for label in set(assigned) & set(ref_assigned)
+               if assigned[label] != ref_assigned[label]}
+        )
+        raise IRError(
+            f"framework definite-assignment diverges from the reference "
+            f"implementation in {function.name!r} at block(s) "
+            f"{', '.join(diff)}"
+        )

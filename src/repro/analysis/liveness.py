@@ -5,12 +5,22 @@ bound dynamic regions ("ending after the last use of any static value",
 §2.2), and by the runtime specializer to key specialization contexts on
 *live* static variables only (so that dead static values do not force
 spurious re-specialization).
+
+A client of the generic engine in :mod:`repro.analysis.framework`: a
+backward may-problem whose facts are variable-name sets.  The original
+fixpoint loop survives as :func:`repro.analysis.legacy.legacy_liveness`
+for differential verification.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.framework import (
+    BACKWARD,
+    SetUnionProblem,
+    solve,
+)
 from repro.ir.function import Function
 
 
@@ -57,42 +67,35 @@ class LivenessResult:
         return cached[index]
 
 
+class _LivenessProblem(SetUnionProblem):
+    """Backward may: ``live_in = use ∪ (live_out − def)``."""
+
+    direction = BACKWARD
+    #: Unreachable blocks are converged too (the historical behaviour:
+    #: mid-pipeline callers may query blocks a pass has just orphaned).
+    scope = "all"
+
+    def __init__(self, function: Function) -> None:
+        self._use: dict[str, frozenset[str]] = {}
+        self._def: dict[str, frozenset[str]] = {}
+        for label, block in function.blocks.items():
+            upward: set[str] = set()
+            killed: set[str] = set()
+            for instr in block.instrs:
+                upward |= set(instr.uses()) - killed
+                killed |= set(instr.defs())
+            self._use[label] = frozenset(upward)
+            self._def[label] = frozenset(killed)
+
+    def transfer(self, function: Function, label: str,
+                 live_out: frozenset) -> frozenset:
+        return self._use[label] | (live_out - self._def[label])
+
+
 def liveness(function: Function) -> LivenessResult:
     """Iterative backward may-analysis for live variables."""
-    use: dict[str, set[str]] = {}
-    defs: dict[str, set[str]] = {}
-    for label, block in function.blocks.items():
-        upward: set[str] = set()
-        killed: set[str] = set()
-        for instr in block.instrs:
-            upward |= set(instr.uses()) - killed
-            killed |= set(instr.defs())
-        use[label] = upward
-        defs[label] = killed
-
-    live_in: dict[str, set[str]] = {label: set() for label in function.blocks}
-    live_out: dict[str, set[str]] = {
-        label: set() for label in function.blocks
-    }
-    succs = {
-        label: block.successors()
-        for label, block in function.blocks.items()
-    }
-
-    changed = True
-    while changed:
-        changed = False
-        for label in function.blocks:
-            out: set[str] = set()
-            for succ in succs[label]:
-                out |= live_in[succ]
-            new_in = use[label] | (out - defs[label])
-            if out != live_out[label] or new_in != live_in[label]:
-                live_out[label] = out
-                live_in[label] = new_in
-                changed = True
-
+    result = solve(function, _LivenessProblem(function))
     return LivenessResult(
-        live_in={k: frozenset(v) for k, v in live_in.items()},
-        live_out={k: frozenset(v) for k, v in live_out.items()},
+        live_in=result.before,
+        live_out=result.after,
     )

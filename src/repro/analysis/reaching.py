@@ -1,0 +1,113 @@
+"""Reaching definitions — a forward may-client of the dataflow engine.
+
+A *definition site* is one instruction that assigns a name (parameters
+are synthetic sites with ``block=None``).  The analysis computes, per
+block, the set of sites whose assignment may still be the current value
+of its name on entry.  Consumers: the specialization-safety prover's
+unbounded-key check (chasing how a promotion key was derived along a
+loop back edge) and ad-hoc def-use queries that previously re-derived
+this by scanning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.framework import FORWARD, SetUnionProblem, solve
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+
+
+@dataclass(frozen=True)
+class DefSite:
+    """One definition of ``name``: a parameter binding or an instruction."""
+
+    name: str
+    #: Defining block label; ``None`` for a parameter binding.
+    block: str | None
+    #: Instruction index within the block; ``-1`` for a parameter.
+    index: int = -1
+
+    @property
+    def is_param(self) -> bool:
+        return self.block is None
+
+    def instr(self, function: Function) -> Instr | None:
+        """The defining instruction (``None`` for parameter sites)."""
+        if self.block is None:
+            return None
+        return function.blocks[self.block].instrs[self.index]
+
+
+@dataclass
+class ReachingResult:
+    """Per-block reaching-definition sets, plus point queries."""
+
+    reach_in: dict[str, frozenset[DefSite]]
+    reach_out: dict[str, frozenset[DefSite]]
+    _before: dict[str, list[frozenset[DefSite]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def reaching_before(self, function: Function, label: str,
+                        index: int) -> frozenset[DefSite]:
+        """Sites reaching the point immediately before instruction
+        ``index`` (``index == len(block.instrs)`` means the exit)."""
+        cached = self._before.get(label)
+        if cached is None:
+            block = function.block(label)
+            current = set(self.reach_in[label])
+            cached = [frozenset(current)]
+            for i, instr in enumerate(block.instrs):
+                defined = set(instr.defs())
+                if defined:
+                    current = {
+                        site for site in current
+                        if site.name not in defined
+                    }
+                    current.update(
+                        DefSite(name, label, i) for name in defined
+                    )
+                cached.append(frozenset(current))
+            self._before[label] = cached
+        return cached[index]
+
+    def definitions_of(self, function: Function, label: str, index: int,
+                       name: str) -> frozenset[DefSite]:
+        """Sites of ``name`` reaching the given instruction's input."""
+        return frozenset(
+            site for site in self.reaching_before(function, label, index)
+            if site.name == name
+        )
+
+
+class _ReachingDefinitions(SetUnionProblem):
+    direction = FORWARD
+
+    def __init__(self, function: Function) -> None:
+        # Per-block gen (last def of each name) and kill (names defined).
+        self._gen: dict[str, frozenset[DefSite]] = {}
+        self._kill: dict[str, frozenset[str]] = {}
+        for label, block in function.blocks.items():
+            last: dict[str, DefSite] = {}
+            for index, instr in enumerate(block.instrs):
+                for name in instr.defs():
+                    last[name] = DefSite(name, label, index)
+            self._gen[label] = frozenset(last.values())
+            self._kill[label] = frozenset(last)
+
+    def boundary(self, function: Function) -> frozenset:
+        return frozenset(DefSite(name, None) for name in function.params)
+
+    def transfer(self, function: Function, label: str,
+                 reaching: frozenset) -> frozenset:
+        kill = self._kill[label]
+        kept = frozenset(s for s in reaching if s.name not in kill)
+        return kept | self._gen[label]
+
+
+def reaching_definitions(function: Function) -> ReachingResult:
+    """Forward may-analysis over definition sites."""
+    problem = _ReachingDefinitions(function)
+    result = solve(function, problem)
+    return ReachingResult(reach_in=result.before, reach_out=result.after)

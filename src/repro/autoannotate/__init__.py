@@ -21,9 +21,18 @@ This package provides that front half:
 * :func:`~repro.autoannotate.suggest.annotate_module` — applies a
   suggestion to an IR module by inserting the ``MakeStatic`` at
   function entry, so the suggestion can be compiled and measured
-  immediately.
+  immediately;
+* :func:`~repro.autoannotate.admission.admit_suggestions` — the static
+  gate: re-lints each candidate with the interprocedural
+  specialization-safety prover and rejects suggestions whose
+  annotation introduces new diagnostics, before anything is compiled.
 """
 
+from repro.autoannotate.admission import (
+    AdmissionResult,
+    admit_suggestions,
+    admitted_suggestions,
+)
 from repro.autoannotate.profiler import FunctionProfile, ValueProfiler
 from repro.autoannotate.suggest import (
     Suggestion,
@@ -37,4 +46,7 @@ __all__ = [
     "Suggestion",
     "suggest_annotations",
     "annotate_module",
+    "AdmissionResult",
+    "admit_suggestions",
+    "admitted_suggestions",
 ]

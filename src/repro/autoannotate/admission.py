@@ -1,0 +1,106 @@
+"""Static admission control for candidate annotation policies.
+
+The profiler's suggestions are *dynamic* evidence ("these parameters
+were quasi-invariant on this run"); admission is the *static* gate:
+before a suggestion is compiled and measured, the interprocedural
+specialization-safety prover (``repro.lint --interprocedural``) checks
+whether annotating would be provably unsound — a static pointer
+escaping into a memory-writing callee (DYC301), an unbounded
+``cache_all`` key set (DYC302), a non-dominating in-loop promotion
+(DYC303), or a hazard from the intraprocedural annotation lints
+(DYC1xx).  Unsound candidates are rejected with the diagnostics as the
+reason, instead of being discovered as miscompiles after dynamic
+compilation.
+
+The comparison is differential: only diagnostics *introduced by the
+annotation* count against a suggestion, so pre-existing findings in
+the unannotated module (or ambient DYC304s from ``pure`` annotations)
+never block admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autoannotate.suggest import Suggestion, annotate_module
+from repro.config import ALL_ON, OptConfig
+from repro.ir.function import Module
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import lint_module
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """The verdict for one candidate suggestion."""
+
+    suggestion: Suggestion
+    admitted: bool
+    #: Diagnostics the annotation introduced (empty when admitted).
+    introduced: tuple[Diagnostic, ...] = ()
+
+    @property
+    def reason(self) -> str:
+        if self.admitted:
+            return "statically safe"
+        return "; ".join(
+            f"{d.code}: {d.message}" for d in self.introduced
+        )
+
+
+def _fingerprint(diag: Diagnostic) -> tuple:
+    # Block labels and indices shift when the BTA splits annotated
+    # blocks, so the differential compares (function, code) occurrences
+    # rather than exact locations.
+    return (diag.function, diag.code)
+
+
+def admit_suggestions(module: Module,
+                      suggestions: list[Suggestion],
+                      config: OptConfig = ALL_ON,
+                      static_loads: bool = False
+                      ) -> list[AdmissionResult]:
+    """Statically screen candidates; one verdict per suggestion.
+
+    Each suggestion is applied *alone* to a copy of ``module`` and the
+    full lint (interprocedural prover included) re-run; any diagnostic
+    occurrence not already present in the unannotated baseline rejects
+    that suggestion.
+    """
+    baseline: dict[tuple, int] = {}
+    for diag in lint_module(module, config=config, interprocedural=True):
+        key = _fingerprint(diag)
+        baseline[key] = baseline.get(key, 0) + 1
+
+    results: list[AdmissionResult] = []
+    for suggestion in suggestions:
+        annotated = annotate_module(
+            module, [suggestion], static_loads=static_loads
+        )
+        seen: dict[tuple, int] = {}
+        introduced: list[Diagnostic] = []
+        for diag in lint_module(annotated, config=config,
+                                interprocedural=True):
+            key = _fingerprint(diag)
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] > baseline.get(key, 0):
+                introduced.append(diag)
+        results.append(AdmissionResult(
+            suggestion=suggestion,
+            admitted=not introduced,
+            introduced=tuple(introduced),
+        ))
+    return results
+
+
+def admitted_suggestions(module: Module,
+                         suggestions: list[Suggestion],
+                         config: OptConfig = ALL_ON,
+                         static_loads: bool = False) -> list[Suggestion]:
+    """Just the statically safe candidates, in their original order."""
+    return [
+        result.suggestion
+        for result in admit_suggestions(module, suggestions,
+                                        config=config,
+                                        static_loads=static_loads)
+        if result.admitted
+    ]

@@ -11,9 +11,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.config import ALL_ON
-from repro.lint.diagnostics import CODES, Severity, has_errors
+from repro.lint.diagnostics import (
+    CODES,
+    JSON_SCHEMA_VERSION,
+    Severity,
+    has_errors,
+)
 from repro.lint.engine import lint_source
 from repro.lint.extract import embedded_sources_from_file
 
@@ -36,12 +42,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--select", metavar="CODES", default=None,
-        help="comma-separated code prefixes to report "
-             "(e.g. DYC001,DYC1)",
+        help="comma-separated code prefixes or inclusive ranges to "
+             "report (e.g. DYC001,DYC1 or DYC100-DYC199)",
+    )
+    parser.add_argument(
+        "--interprocedural", action="store_true",
+        help="also run the DYC3xx specialization-safety prover "
+             "(whole-module call-graph effect summaries)",
     )
     parser.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit diagnostics as a JSON array on stdout",
+        help="emit diagnostics as JSON on stdout "
+             f"(schema_version {JSON_SCHEMA_VERSION})",
     )
     parser.add_argument(
         "--codes", action="store_true",
@@ -53,6 +65,18 @@ def _build_parser() -> argparse.ArgumentParser:
              "consistency check, proving DYC201 catches planner bugs",
     )
     return parser
+
+
+def _valid_selector(selector: str) -> bool:
+    """A selector is a known-code prefix or an inclusive ``LOW-HIGH``
+    range whose endpoints parse as codes and that covers at least one
+    known code."""
+    if "-" in selector:
+        low, _, high = selector.partition("-")
+        if not (low.startswith("DYC") and high.startswith("DYC")):
+            return False
+        return any(low <= code <= high for code in CODES)
+    return any(code.startswith(selector) for code in CODES)
 
 
 def _sources_for(path: str) -> list[tuple[str, str]]:
@@ -87,8 +111,7 @@ def main(argv: list[str] | None = None) -> int:
             part.strip() for part in args.select.split(",") if part.strip()
         )
         unknown = [
-            part for part in select
-            if not any(code.startswith(part) for code in CODES)
+            part for part in select if not _valid_selector(part)
         ]
         if unknown:
             print(f"error: unknown code selector(s): "
@@ -97,6 +120,7 @@ def main(argv: list[str] | None = None) -> int:
 
     all_diags = []
     checked = 0
+    started = time.perf_counter()
     for path in args.files:
         try:
             sources = _sources_for(path)
@@ -108,11 +132,20 @@ def main(argv: list[str] | None = None) -> int:
             diags = lint_source(
                 text, config=ALL_ON, select=select,
                 inject_plan_fault=args.inject_plan_fault,
+                interprocedural=args.interprocedural,
             )
             all_diags.extend(d.with_source(source_id) for d in diags)
+    elapsed = time.perf_counter() - started
 
     if args.as_json:
-        print(json.dumps([d.to_json() for d in all_diags], indent=2))
+        print(json.dumps({
+            "schema_version": JSON_SCHEMA_VERSION,
+            "strict": args.strict,
+            "interprocedural": args.interprocedural,
+            "programs_checked": checked,
+            "wall_time_seconds": round(elapsed, 4),
+            "diagnostics": [d.to_json() for d in all_diags],
+        }, indent=2))
     else:
         for diag in all_diags:
             print(diag.format())
@@ -121,7 +154,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         warnings = len(all_diags) - errors
         print(f"{checked} program(s) checked: "
-              f"{errors} error(s), {warnings} warning(s)")
+              f"{errors} error(s), {warnings} warning(s) "
+              f"in {elapsed:.2f}s")
 
     return 1 if has_errors(all_diags, strict=args.strict) else 0
 

@@ -14,83 +14,20 @@ from __future__ import annotations
 
 from repro.analysis.cfg import natural_loops
 from repro.analysis.defuse import unreachable_blocks
+from repro.analysis.effects import (
+    address_root as _address_root,
+    def_index as _def_index,
+)
 from repro.bta.facts import InstrClass, RegionInfo
 from repro.config import OptConfig
 from repro.ir.function import Function
 from repro.ir.instructions import (
-    BinOp,
     Branch,
-    Instr,
-    Imm,
     Load,
     MakeStatic,
-    Move,
-    Op,
-    Operand,
-    Reg,
     Store,
 )
 from repro.lint.diagnostics import Diagnostic, Severity
-
-
-# ----------------------------------------------------------------------
-# Address-base resolution (for the @-load / store conflict check)
-# ----------------------------------------------------------------------
-
-_MAX_DEPTH = 32
-
-
-def _address_root(function: Function, operand: Operand,
-                  defs: dict[str, list[Instr]],
-                  stack: frozenset[str] = frozenset(),
-                  depth: int = 0) -> str | None:
-    """The named base variable an address operand derives from.
-
-    Follows copy chains and the ``base + index`` shape the front end
-    lowers indexing to (the base is always the left operand).  Returns
-    ``None`` when the base cannot be traced to a single named variable
-    (loaded pointers, call results, merges of different bases) — such
-    addresses are treated as unrelated rather than as aliasing
-    everything, keeping the lint's false-positive rate near zero.
-    """
-    if depth > _MAX_DEPTH or not isinstance(operand, Reg):
-        return None
-    name = operand.name
-    if name in stack:
-        return None
-    defining = defs.get(name)
-    if not defining:
-        return name  # parameter (or undefined): the root itself
-    stack = stack | {name}
-    roots: set[str | None] = set()
-    for instr in defining:
-        if isinstance(instr, Move):
-            roots.add(_address_root(function, instr.src, defs, stack,
-                                    depth + 1))
-        elif isinstance(instr, BinOp) and instr.op in (Op.ADD, Op.SUB):
-            root = _address_root(function, instr.lhs, defs, stack,
-                                 depth + 1)
-            if root is None and isinstance(instr.lhs, Imm):
-                # ``Imm + reg`` never appears in lowered addressing, but
-                # a commuted form after optimization still has a single
-                # register operand to chase.
-                root = _address_root(function, instr.rhs, defs, stack,
-                                     depth + 1)
-            roots.add(root)
-        else:
-            roots.add(None)
-    roots.discard(None)
-    if len(roots) == 1:
-        return roots.pop()
-    return None
-
-
-def _def_index(function: Function) -> dict[str, list[Instr]]:
-    defs: dict[str, list[Instr]] = {}
-    for _, _, instr in function.instructions():
-        for name in instr.defs():
-            defs.setdefault(name, []).append(instr)
-    return defs
 
 
 # ----------------------------------------------------------------------

@@ -13,6 +13,11 @@ message text.  Code ranges group the checks:
   still be correct), promoted to errors under ``--strict``.
 * ``DYC2xx`` — staged-plan consistency.  A ZCP/DAE plan contradicting
   liveness is a planner bug, always an error.
+* ``DYC3xx`` — specialization-safety prover (interprocedural).  These
+  run only under ``--interprocedural``: they consume whole-module
+  call-graph effect summaries (:mod:`repro.analysis.effects`) to prove
+  or refute the safety of annotations whose hazard crosses a function
+  boundary.  Warnings, promoted to errors under ``--strict``.
 """
 
 from __future__ import annotations
@@ -45,7 +50,21 @@ CODES: dict[str, str] = {
     "DYC105": "conflicting cache policies for one variable across "
               "annotations",
     "DYC201": "staged ZCP/DAE plan contradicts liveness (planner bug)",
+    "DYC301": "static pointer escapes into a callee that writes the "
+              "memory an @-load in the same region asserts invariant",
+    "DYC302": "cache_all promotion whose key is derived from a dynamic "
+              "value inside a loop (provably unbounded cache key set)",
+    "DYC303": "annotation promotion inside a loop does not dominate the "
+              "loop latch (iterations bypass it and merge with "
+              "mismatched binding times)",
+    "DYC304": "pure-annotated static call to a callee whose effect "
+              "summary is impure (folding it would drop side effects)",
 }
+
+#: JSON payload version emitted by ``--json``.  Bump only when a field
+#: changes meaning; adding fields is backward compatible within a
+#: version.
+JSON_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -58,9 +77,21 @@ class Diagnostic:
     function: str | None = None
     block: str | None = None
     index: int | None = None
+    #: Exclusive end of the instruction span the finding covers (the
+    #: IR analogue of an end column).  ``None`` means a single
+    #: instruction: the span is ``[index, index + 1)``.
+    end_index: int | None = None
     #: Source identifier (file path, or ``file.py::VAR`` for embedded
     #: MiniC programs).
     source: str | None = None
+
+    def span(self) -> tuple[int, int] | None:
+        """``(start, end)`` instruction span, end exclusive."""
+        if self.index is None:
+            return None
+        end = self.end_index if self.end_index is not None \
+            else self.index + 1
+        return (self.index, end)
 
     def location(self) -> str:
         parts = []
@@ -70,8 +101,11 @@ class Diagnostic:
             parts.append(self.function)
         if self.block:
             where = self.block
-            if self.index is not None:
-                where += f"[{self.index}]"
+            span = self.span()
+            if span is not None:
+                start, end = span
+                where += (f"[{start}]" if end == start + 1
+                          else f"[{start}:{end}]")
             parts.append(where)
         return ":".join(parts) if parts else "<module>"
 
@@ -80,6 +114,7 @@ class Diagnostic:
                f"{self.message}"
 
     def to_json(self) -> dict:
+        span = self.span()
         return {
             "code": self.code,
             "severity": self.severity.value,
@@ -87,6 +122,7 @@ class Diagnostic:
             "function": self.function,
             "block": self.block,
             "index": self.index,
+            "end_index": None if span is None else span[1],
             "source": self.source,
         }
 

@@ -34,30 +34,44 @@ from repro.lint.diagnostics import Diagnostic, Severity, sort_key
 from repro.lint.plans import check_genext_plans, corrupt_plans_for_selftest
 
 
+def _matches(code: str, selector: str) -> bool:
+    if "-" in selector:
+        low, _, high = selector.partition("-")
+        return low <= code <= high
+    return code.startswith(selector)
+
+
 def select_codes(diags: list[Diagnostic],
                  select: tuple[str, ...] | None) -> list[Diagnostic]:
-    """Keep diagnostics whose code matches a selected prefix.
+    """Keep diagnostics whose code matches a selector.
 
-    ``("DYC1",)`` selects the whole annotation-safety group; ``None``
-    keeps everything.
+    A selector is a code prefix (``"DYC1"`` selects the whole
+    annotation-safety group) or an inclusive range
+    (``"DYC100-DYC199"``).  ``None`` keeps everything.
     """
     if not select:
         return diags
     return [
         d for d in diags
-        if any(d.code.startswith(prefix) for prefix in select)
+        if any(_matches(d.code, selector) for selector in select)
     ]
 
 
 def lint_module(module: Module,
                 config: OptConfig = ALL_ON,
                 select: tuple[str, ...] | None = None,
-                inject_plan_fault: bool = False) -> list[Diagnostic]:
+                inject_plan_fault: bool = False,
+                interprocedural: bool = False) -> list[Diagnostic]:
     """All diagnostics for ``module``, sorted by location.
 
     ``inject_plan_fault`` corrupts every staged plan before the
     consistency check runs — a self-test proving the DYC201 checker can
     catch a planner miscompile (used by ``--inject-plan-fault`` and CI).
+
+    ``interprocedural`` additionally runs the DYC3xx specialization-
+    safety prover over whole-module call-graph effect summaries (the
+    CLI's ``--interprocedural``); off by default so the base lint's
+    behaviour and cost are unchanged.
     """
     diags = check_structure(module)
     if any(d.severity is Severity.ERROR for d in diags):
@@ -70,6 +84,7 @@ def lint_module(module: Module,
 
     # BTA-dependent checks run on a copy: block splitting mutates.
     working = copy.deepcopy(module)
+    regions_by_function: dict[str, list] = {}
     for function in working.functions.values():
         if not has_annotations(function):
             continue
@@ -85,6 +100,7 @@ def lint_module(module: Module,
                 function=function.name,
             ))
             continue
+        regions_by_function[function.name] = regions
         diags += check_dead_annotations(function, regions)
         diags += check_static_load_stores(function, regions)
         diags += check_unbounded_unrolling(function, regions, config)
@@ -105,13 +121,21 @@ def lint_module(module: Module,
                 corrupt_plans_for_selftest(genext)
             diags += check_genext_plans(genext)
 
+    if interprocedural:
+        from repro.lint.interproc import check_module_interprocedural
+
+        diags += check_module_interprocedural(
+            working, regions_by_function
+        )
+
     return sorted(select_codes(diags, select), key=sort_key)
 
 
 def lint_source(source: str,
                 config: OptConfig = ALL_ON,
                 select: tuple[str, ...] | None = None,
-                inject_plan_fault: bool = False) -> list[Diagnostic]:
+                inject_plan_fault: bool = False,
+                interprocedural: bool = False) -> list[Diagnostic]:
     """Lint MiniC source text; front-end failures become DYC000."""
     from repro.errors import SourceError
     from repro.frontend import compile_source
@@ -125,4 +149,5 @@ def lint_source(source: str,
             message=str(exc),
         )], select)
     return lint_module(module, config=config, select=select,
-                       inject_plan_fault=inject_plan_fault)
+                       inject_plan_fault=inject_plan_fault,
+                       interprocedural=interprocedural)

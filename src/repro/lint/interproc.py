@@ -1,0 +1,306 @@
+"""DYC3xx: the interprocedural specialization-safety prover.
+
+These checks consume whole-module facts — the call graph and bottom-up
+effect summaries from :mod:`repro.analysis.effects` — to prove or
+refute annotation safety properties that no single-function check can
+see.  They run only when the engine is invoked with
+``interprocedural=True`` (the CLI's ``--interprocedural``), keeping
+the default lint behaviour and its cost unchanged.
+
+* **DYC301** — a dynamic region ``@``-loads through some base pointer
+  while also passing that pointer to a callee whose summary writes the
+  matching parameter's memory: the invariance assertion of ``@`` is
+  refuted across the call boundary (the intraprocedural DYC103 only
+  sees stores written out in the region itself).
+* **DYC302** — a ``cache_all`` variable is re-promoted inside a loop
+  with a value derived (transitively, through the loop's definitions)
+  from a dynamic load or call: every iteration can produce a fresh
+  key, so the specialization cache provably grows without bound.
+  Static derivations (``pc = pc + 4``, values folded from ``@``-loads)
+  stay clean — their key sets are bounded by the static input.
+* **DYC303** — a ``make_static`` annotation inside a natural loop that
+  does not dominate the loop's latch: iterations that bypass it merge
+  back at the header with mismatched binding times, so the promotion
+  re-dispatches on stale context (the paper's polyvariant-division
+  examples always place such annotations outside the loop).
+* **DYC304** — a ``pure``-annotated (static) call whose callee's
+  transitive effect summary writes memory or has observable effects:
+  folding the call at dynamic compile time would execute those effects
+  once instead of per iteration, silently changing behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.cfg import natural_loops
+from repro.analysis.defuse import unreachable_blocks
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.effects import (
+    EffectSummary,
+    address_root,
+    def_index,
+    effect_summaries,
+)
+from repro.bta.facts import RegionInfo
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    Instr,
+    Load,
+    MakeStatic,
+    Move,
+    Reg,
+    UnOp,
+)
+from repro.lint.diagnostics import Diagnostic, Severity
+
+_DERIVATION_DEPTH = 16
+
+
+# ----------------------------------------------------------------------
+# DYC301: static pointer escapes into a memory-writing callee
+# ----------------------------------------------------------------------
+
+def check_escaping_static_pointers(
+        function: Function, regions: list[RegionInfo], module: Module,
+        summaries: dict[str, EffectSummary]) -> list[Diagnostic]:
+    defs = def_index(function)
+    diags: list[Diagnostic] = []
+    for region in regions:
+        loaded_roots: dict[str, tuple[str, int]] = {}
+        calls: list[tuple[str, int, Call]] = []
+        for label in sorted(region.blocks):
+            block = function.blocks.get(label)
+            if block is None:
+                continue
+            for index, instr in enumerate(block.instrs):
+                if isinstance(instr, Load) and instr.static:
+                    root = address_root(function, instr.addr, defs)
+                    if root is not None:
+                        loaded_roots.setdefault(root, (label, index))
+                elif isinstance(instr, Call):
+                    calls.append((label, index, instr))
+        if not loaded_roots:
+            continue
+        for label, index, call in calls:
+            callee = module.functions.get(call.callee)
+            summary = summaries.get(call.callee)
+            if callee is None or summary is None:
+                continue
+            for position, arg in enumerate(call.args):
+                if position >= len(callee.params):
+                    break
+                root = address_root(function, arg, defs)
+                if root is None or root not in loaded_roots:
+                    continue
+                formal = callee.params[position]
+                if formal not in summary.writes_params:
+                    continue
+                at = loaded_roots[root]
+                diags.append(Diagnostic(
+                    code="DYC301",
+                    severity=Severity.WARNING,
+                    message=f"static pointer {root!r} (@-loaded at "
+                            f"{at[0]}[{at[1]}]) is passed to "
+                            f"{call.callee!r}, which may write "
+                            f"{formal!r}'s memory; the @-invariance "
+                            "assertion is refuted across the call",
+                    function=function.name,
+                    block=label,
+                    index=index,
+                ))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# DYC302: provably unbounded cache_all key set
+# ----------------------------------------------------------------------
+
+def _located_defs(function: Function
+                  ) -> dict[str, list[tuple[str, int, Instr]]]:
+    located: dict[str, list[tuple[str, int, Instr]]] = {}
+    for block, index, instr in function.instructions():
+        for name in instr.defs():
+            located.setdefault(name, []).append(
+                (block.label, index, instr)
+            )
+    return located
+
+
+def _derives_dynamic(function: Function, name: str,
+                     located: dict[str, list[tuple[str, int, Instr]]],
+                     loop_body: frozenset[str],
+                     stack: frozenset[str] = frozenset(),
+                     depth: int = 0) -> bool:
+    """True when some in-loop definition of ``name`` transitively
+    derives from a dynamic load or a dynamic call result."""
+    if depth > _DERIVATION_DEPTH or name in stack:
+        return False
+    stack = stack | {name}
+    for label, _, instr in located.get(name, ()):
+        if label not in loop_body:
+            continue
+        if isinstance(instr, Load) and not instr.static:
+            return True
+        if isinstance(instr, Call) and not instr.static:
+            return True
+        if isinstance(instr, (Move, BinOp, UnOp)):
+            for operand in instr.operands():
+                if isinstance(operand, Reg) and _derives_dynamic(
+                        function, operand.name, located, loop_body,
+                        stack, depth + 1):
+                    return True
+    return False
+
+
+def check_unbounded_cache_keys(
+        function: Function,
+        regions: list[RegionInfo]) -> list[Diagnostic]:
+    located = _located_defs(function)
+    loops = natural_loops(function)
+    diags: list[Diagnostic] = []
+    for region in regions:
+        for point in region.promotions.values():
+            if point.kind != "assignment":
+                continue
+            containing = [
+                frozenset(loop.body) for loop in loops
+                if point.block in loop.body
+            ]
+            if not containing:
+                continue  # promoted once per region entry: bounded
+            for name in point.names:
+                policy = region.policies.get(name, point.policy)
+                if policy != "cache_all":
+                    continue
+                if not any(
+                        _derives_dynamic(function, name, located, body)
+                        for body in containing):
+                    continue
+                diags.append(Diagnostic(
+                    code="DYC302",
+                    severity=Severity.WARNING,
+                    message=f"cache_all variable {name!r} is promoted "
+                            "inside a loop with a value derived from a "
+                            "dynamic load or call; each iteration can "
+                            "mint a fresh key, so the specialization "
+                            "cache grows without bound (use "
+                            "cache_one/cache_one_unchecked, or bound "
+                            "the key set)",
+                    function=function.name,
+                    block=point.block,
+                    index=point.index,
+                ))
+                break
+    return diags
+
+
+# ----------------------------------------------------------------------
+# DYC303: in-loop annotation that does not dominate the loop latch
+# ----------------------------------------------------------------------
+
+def check_promotion_dominance(function: Function) -> list[Diagnostic]:
+    loops = natural_loops(function)
+    if not loops:
+        return []
+    tree = DominatorTree.build(function)
+    preds = function.predecessors()
+    dead = unreachable_blocks(function)
+    diags: list[Diagnostic] = []
+    for block in function.blocks.values():
+        if block.label in dead:
+            continue
+        for index, instr in enumerate(block.instrs):
+            if not isinstance(instr, MakeStatic):
+                continue
+            for loop in loops:
+                if block.label not in loop.body:
+                    continue
+                latches = [
+                    p for p in preds[loop.header] if p in loop.body
+                ]
+                bypassed = [
+                    latch for latch in latches
+                    if not tree.dominates(block.label, latch)
+                ]
+                if not bypassed:
+                    continue
+                names = ", ".join(instr.names)
+                diags.append(Diagnostic(
+                    code="DYC303",
+                    severity=Severity.WARNING,
+                    message=f"make_static({names}) inside loop "
+                            f"{loop.header!r} does not dominate latch "
+                            f"{bypassed[0]!r}: iterations bypassing the "
+                            "annotation merge at the header with "
+                            "mismatched binding times (hoist the "
+                            "annotation out of the loop or cover every "
+                            "path)",
+                    function=function.name,
+                    block=block.label,
+                    index=index,
+                ))
+                break
+    return diags
+
+
+# ----------------------------------------------------------------------
+# DYC304: pure-annotated call to a provably impure callee
+# ----------------------------------------------------------------------
+
+def check_impure_static_calls(
+        module: Module,
+        summaries: dict[str, EffectSummary]) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for function in module.functions.values():
+        for block, index, instr in function.instructions():
+            if not isinstance(instr, Call) or not instr.static:
+                continue
+            summary = summaries.get(instr.callee)
+            if summary is None or summary.pure:
+                continue
+            effects = []
+            if summary.writes_memory:
+                effects.append("writes memory")
+            if summary.observable_effects:
+                effects.append("has observable effects")
+            diags.append(Diagnostic(
+                code="DYC304",
+                severity=Severity.WARNING,
+                message=f"call to {instr.callee!r} is annotated pure, "
+                        f"but its effect summary {' and '.join(effects)}"
+                        "; folding it at dynamic compile time would "
+                        "drop those effects",
+                function=function.name,
+                block=block.label,
+                index=index,
+            ))
+    return diags
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def check_module_interprocedural(
+        module: Module,
+        regions_by_function: dict[str, list[RegionInfo]]
+        ) -> list[Diagnostic]:
+    """All DYC3xx diagnostics for an already-BTA-analyzed module.
+
+    ``regions_by_function`` holds the per-function region info the
+    engine computed (annotated functions whose BTA succeeded); module-
+    wide checks (DYC304) run over every function regardless.
+    """
+    graph = CallGraph.build(module)
+    summaries = effect_summaries(module, graph)
+    diags = check_impure_static_calls(module, summaries)
+    for name, regions in regions_by_function.items():
+        function = module.functions[name]
+        diags += check_escaping_static_pointers(
+            function, regions, module, summaries
+        )
+        diags += check_unbounded_cache_keys(function, regions)
+        diags += check_promotion_dominance(function)
+    return diags

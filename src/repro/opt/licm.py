@@ -16,6 +16,11 @@ want a stronger static baseline can append it::
 from __future__ import annotations
 
 from repro.analysis.cfg import Loop, natural_loops
+from repro.analysis.expressions import (
+    anticipated_expressions,
+    expression_of,
+)
+from repro.analysis.liveness import liveness
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import (
     BinOp,
@@ -114,17 +119,30 @@ def loop_invariant_code_motion(function: Function) -> bool:
     """Hoist invariant computations out of natural loops.
 
     A pure instruction is hoisted when (a) its operands are not defined
-    anywhere in the loop, (b) its destination is defined exactly once in
-    the loop, and (c) its destination is not live into the loop header
-    from outside (approximated: not used before its definition within
-    its block and not defined elsewhere in the loop).  Conservative but
-    effective on the common `x = k * c` idioms.
+    anywhere in the loop, (b) its destination is defined exactly once
+    in the loop, and (c) its destination is not live into the loop
+    header — the framework liveness analysis answers this exactly: a
+    variable live at the header still carries its pre-loop value on
+    some path (a use before the in-loop definition, or an exit path
+    bypassing it), which a preheader definition would clobber.
+
+    Potentially trapping instructions (divides, moduli, shifts by a
+    dynamic count) additionally require their expression to be
+    *anticipated* at the loop header — the backward very-busy-
+    expressions analysis proves every path from the header evaluates
+    it, so the preheader evaluation cannot introduce a trap the
+    original program would have avoided (do-while shapes qualify;
+    zero-trip-possible while shapes do not).
     """
     changed = False
     counter = [0]
     for loop in natural_loops(function):
         defs = _loop_defs(function, loop)
         side_effects = _loop_has_side_effects(function, loop)
+        live_at_header = liveness(function).live_in[loop.header]
+        anticipated = anticipated_expressions(function).get(
+            loop.header, frozenset()
+        )
 
         def_counts: dict[str, int] = {}
         for label in loop.body:
@@ -141,10 +159,15 @@ def loop_invariant_code_motion(function: Function) -> bool:
                     isinstance(instr, _PURE)
                     or (isinstance(instr, Load) and not side_effects)
                 )
+                trap_safe = (
+                    not _may_trap(instr)
+                    or expression_of(instr) in anticipated
+                )
                 if (is_candidate
                         and instr.defs()
                         and def_counts.get(instr.defs()[0], 0) == 1
-                        and not _may_trap(instr)
+                        and instr.defs()[0] not in live_at_header
+                        and trap_safe
                         and _operands_invariant(instr, defs)):
                     hoistable.append(instr)
                     # Its destination is now invariant for later

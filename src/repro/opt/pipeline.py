@@ -35,9 +35,12 @@ class PassManager:
     """Runs passes to a fixpoint and records how often each fired.
 
     With ``verify=True`` (the debug mode) the structural and dataflow
-    verifiers re-run after every pass that changed the function, so a
-    miscompiling pass is caught *at the pass boundary* — named in the
-    error — instead of surfacing later as a wrong answer in a workload.
+    verifiers re-run after every pass that changed the function — plus
+    a differential check of the framework-ported analyses against their
+    reference implementations — so a miscompiling pass (or an engine
+    regression the pass exposed) is caught *at the pass boundary*,
+    named in the error, instead of surfacing later as a wrong answer
+    in a workload.
     """
 
     passes: tuple[Pass, ...] = DEFAULT_PASSES
@@ -64,9 +67,12 @@ class PassManager:
 
     @staticmethod
     def _verify_after(function: Function, pass_name: str) -> None:
+        from repro.analysis.legacy import verify_framework_analyses
+
         try:
             verify_function(function)
             verify_dataflow(function)
+            verify_framework_analyses(function)
         except IRError as exc:
             raise IRError(
                 f"pass {pass_name!r} broke function "

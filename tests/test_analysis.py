@@ -2,7 +2,7 @@
 
 from repro.analysis import (
     back_edges,
-    dominators,
+    dominator_sets,
     immediate_dominators,
     liveness,
     loop_body_map,
@@ -34,12 +34,12 @@ class TestOrders:
 class TestDominators:
     def test_entry_dominates_all(self):
         f = build_diamond()
-        doms = dominators(f)
+        doms = dominator_sets(f)
         for label in f.blocks:
             assert "entry" in doms[label]
 
     def test_branch_arms_do_not_dominate_join(self):
-        doms = dominators(build_diamond())
+        doms = dominator_sets(build_diamond())
         assert "then" not in doms["join"]
         assert "else" not in doms["join"]
 
@@ -49,7 +49,7 @@ class TestDominators:
         assert idom["join"] == "entry"
 
     def test_loop_header_dominates_body(self):
-        doms = dominators(build_countdown())
+        doms = dominator_sets(build_countdown())
         assert "head" in doms["body"]
 
 

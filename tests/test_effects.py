@@ -1,0 +1,191 @@
+"""Tests for the call graph, interprocedural effect summaries, and the
+autoannotate admission gate built on them."""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.effects import effect_summaries
+from repro.autoannotate import Suggestion, admit_suggestions
+from repro.frontend import compile_source
+
+
+def _summaries(source: str):
+    module = compile_source(source)
+    return module, effect_summaries(module)
+
+
+class TestCallGraph:
+    def test_internal_and_external_edges(self):
+        module = compile_source("""
+            func helper(x) { return x + 1; }
+            func main(x) { return helper(x) + sqrt(x); }
+        """)
+        graph = CallGraph.build(module)
+        assert graph.internal["main"] == frozenset({"helper"})
+        assert graph.external["main"] == frozenset({"sqrt"})
+        assert graph.callers_of("helper") == frozenset({"main"})
+
+    def test_sccs_are_bottom_up(self):
+        module = compile_source("""
+            func leaf(x) { return x; }
+            func mid(x) { return leaf(x); }
+            func main(x) { return mid(x); }
+        """)
+        order = CallGraph.build(module).sccs()
+        position = {
+            name: i for i, comp in enumerate(order) for name in comp
+        }
+        assert position["leaf"] < position["mid"] < position["main"]
+
+    def test_mutual_recursion_single_component(self):
+        module = compile_source("""
+            func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+            func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+            func main(n) { return even(n); }
+        """)
+        graph = CallGraph.build(module)
+        components = [c for c in graph.sccs() if "even" in c]
+        assert components == [frozenset({"even", "odd"})]
+        assert graph.is_recursive("even")
+        assert not graph.is_recursive("main")
+
+
+class TestEffectSummaries:
+    def test_pure_arithmetic_is_pure(self):
+        _, summaries = _summaries("""
+            func f(x) { return x * 2 + 1; }
+            func main(x) { return f(x); }
+        """)
+        assert summaries["f"].pure
+        assert summaries["main"].pure
+
+    def test_store_attributed_to_parameter(self):
+        _, summaries = _summaries("""
+            func poke(buf, i) { buf[i] = 1; return 0; }
+            func main(arr, i) { return poke(arr, i); }
+        """)
+        assert summaries["poke"].writes_memory
+        assert summaries["poke"].writes_params == frozenset({"buf"})
+        # The write propagates through the call and re-maps to the
+        # caller's actual argument.
+        assert summaries["main"].writes_params == frozenset({"arr"})
+        assert not summaries["main"].pure
+
+    def test_reads_do_not_break_purity(self):
+        _, summaries = _summaries("""
+            func peek(buf, i) { return buf[i]; }
+            func main(arr, i) { return peek(arr, i); }
+        """)
+        assert summaries["peek"].reads_memory
+        assert summaries["peek"].reads_params == frozenset({"buf"})
+        assert summaries["peek"].pure
+
+    def test_impure_intrinsic_is_observable(self):
+        _, summaries = _summaries("""
+            func report(x) { print_val(x); return x; }
+            func main(x) { return report(x); }
+        """)
+        assert summaries["report"].observable_effects
+        assert not summaries["report"].writes_memory
+        assert not summaries["report"].pure
+        assert not summaries["main"].pure
+
+    def test_pure_intrinsic_stays_pure(self):
+        _, summaries = _summaries("""
+            func main(x) { return sqrt(x) + sin(x); }
+        """)
+        assert summaries["main"].pure
+
+    def test_recursive_store_reaches_fixpoint(self):
+        _, summaries = _summaries("""
+            func fill(buf, n) {
+                if (n == 0) { return 0; }
+                buf[n] = n;
+                return fill(buf, n - 1);
+            }
+            func main(arr, n) { return fill(arr, n); }
+        """)
+        assert summaries["fill"].writes_params == frozenset({"buf"})
+        assert summaries["main"].writes_params == frozenset({"arr"})
+
+    def test_mutual_recursion_propagates_effects(self):
+        _, summaries = _summaries("""
+            func ping(buf, n) {
+                if (n == 0) { return 0; }
+                return pong(buf, n - 1);
+            }
+            func pong(buf, n) {
+                buf[n] = n;
+                return ping(buf, n - 1);
+            }
+            func main(arr, n) { return ping(arr, n); }
+        """)
+        assert summaries["ping"].writes_params == frozenset({"buf"})
+        assert summaries["pong"].writes_params == frozenset({"buf"})
+        assert summaries["main"].writes_params == frozenset({"arr"})
+
+    def test_escaping_parameter_recorded(self):
+        _, summaries = _summaries("""
+            func stash(slot, v) { slot[0] = v; return 0; }
+            func main(arr, v) { return stash(arr, v); }
+        """)
+        assert "v" in summaries["stash"].escapes_params
+        assert "v" in summaries["main"].escapes_params
+
+
+UNSOUND_BASE = """
+func bump(buf, i) {
+    buf[i] = buf[i] + 1;
+    return 0;
+}
+func scale(table, n) {
+    var acc = 0;
+    for (k = 0; k < 4; k = k + 1) {
+        var w = table[k];
+        var z = bump(table, k);
+        acc = acc + w * n + z;
+    }
+    return acc;
+}
+"""
+
+
+def _suggestion(**overrides):
+    fields = dict(
+        function="scale", params=("table",), induction_vars=("k",),
+        policy="cache_all", cycle_share=0.9, invariance=1.0,
+        rationale="test candidate",
+    )
+    fields.update(overrides)
+    return Suggestion(**fields)
+
+
+class TestAdmission:
+    def test_unsound_candidate_rejected_statically(self):
+        module = compile_source(UNSOUND_BASE)
+        results = admit_suggestions(
+            module, [_suggestion()], static_loads=True
+        )
+        assert len(results) == 1
+        assert not results[0].admitted
+        assert any(d.code == "DYC301" for d in results[0].introduced)
+        assert "DYC301" in results[0].reason
+
+    def test_sound_candidate_admitted(self):
+        module = compile_source(UNSOUND_BASE)
+        results = admit_suggestions(
+            module, [_suggestion()], static_loads=False
+        )
+        assert results[0].admitted
+        assert results[0].introduced == ()
+        assert results[0].reason == "statically safe"
+
+    def test_module_not_mutated_by_admission(self):
+        from repro.ir.instructions import MakeStatic
+
+        module = compile_source(UNSOUND_BASE)
+        admit_suggestions(module, [_suggestion()], static_loads=True)
+        annotations = [
+            instr for f in module.functions.values()
+            for _, _, instr in f.instructions()
+            if isinstance(instr, MakeStatic)
+        ]
+        assert annotations == []

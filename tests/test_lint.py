@@ -177,8 +177,14 @@ class TestCommandLine:
         code = main(["--json", str(FIXTURES / "unresolved_call.minic")])
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload and payload[0]["code"] == "DYC003"
-        assert payload[0]["source"].endswith("unresolved_call.minic")
+        assert payload["schema_version"] == 2
+        assert payload["programs_checked"] == 1
+        assert payload["wall_time_seconds"] >= 0
+        diags = payload["diagnostics"]
+        assert diags and diags[0]["code"] == "DYC003"
+        assert diags[0]["severity"] == "error"
+        assert "end_index" in diags[0]
+        assert diags[0]["source"].endswith("unresolved_call.minic")
 
     def test_select_limits_output(self, capsys):
         path = str(FIXTURES / "conflicting_policies.minic")

@@ -1,0 +1,126 @@
+"""Tests for the interprocedural specialization-safety prover (DYC3xx):
+each diagnostic fires on its fixture and stays silent on the paired
+near-miss, the prover is opt-in, the workload corpus stays clean under
+it, and the CLI flag / range selectors behave."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Severity, lint_source, select_codes
+from repro.lint.__main__ import main
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.extract import embedded_sources_from_file
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+EXAMPLES = Path(__file__).parent.parent / "examples"
+WORKLOADS = Path(__file__).parent.parent / "src" / "repro" / "workloads"
+
+#: positive fixture -> (expected code, paired near-miss fixture).
+INTERPROC_CASES = {
+    "interproc_escape.minic": ("DYC301", "interproc_escape_readonly.minic"),
+    "unbounded_cache.minic": ("DYC302", "unbounded_cache_unchecked.minic"),
+    "loop_annotation.minic": ("DYC303", "loop_annotation_dominating.minic"),
+    "impure_static_call.minic": ("DYC304", "impure_static_call_reader.minic"),
+}
+
+
+def lint_fixture(name: str, **kwargs):
+    return lint_source((FIXTURES / name).read_text(), **kwargs)
+
+
+class TestProverFixtures:
+    @pytest.mark.parametrize("fixture,code",
+                             sorted((f, c) for f, (c, _)
+                                    in INTERPROC_CASES.items()))
+    def test_positive_fixture_fires(self, fixture, code):
+        diags = lint_fixture(fixture, interprocedural=True)
+        assert code in {d.code for d in diags}
+
+    @pytest.mark.parametrize("fixture,code",
+                             sorted((n, c) for _, (c, n)
+                                    in INTERPROC_CASES.items()))
+    def test_near_miss_stays_silent(self, fixture, code):
+        diags = lint_fixture(fixture, interprocedural=True)
+        assert code not in {d.code for d in diags}
+
+    @pytest.mark.parametrize("fixture", sorted(INTERPROC_CASES))
+    def test_prover_is_opt_in(self, fixture):
+        """Without the flag no DYC3xx appears — default behavior and
+        cost are unchanged."""
+        diags = lint_fixture(fixture)
+        assert not any(d.code.startswith("DYC3") for d in diags)
+
+    @pytest.mark.parametrize("fixture", sorted(INTERPROC_CASES))
+    def test_prover_diagnostics_are_warnings(self, fixture):
+        for diag in lint_fixture(fixture, interprocedural=True):
+            if diag.code.startswith("DYC3"):
+                assert diag.severity is Severity.WARNING
+                assert diag.function is not None
+
+
+class TestCorpusCleanInterprocedural:
+    @pytest.mark.parametrize(
+        "path",
+        sorted(list(EXAMPLES.glob("*.py")) + list(WORKLOADS.glob("*.py"))),
+        ids=lambda p: p.stem)
+    def test_corpus_clean_under_prover(self, path):
+        for name, source in embedded_sources_from_file(path):
+            diags = lint_source(source, interprocedural=True)
+            assert diags == [], (
+                f"{path.name}:{name} -> "
+                f"{[d.format() for d in diags]}")
+
+
+class TestDiagnosticSpans:
+    def test_span_defaults_to_single_instruction(self):
+        diag = Diagnostic(code="DYC301", severity=Severity.WARNING,
+                          message="m", function="f", block="entry",
+                          index=3)
+        assert diag.span() == (3, 4)
+        assert diag.end_index is None
+        assert "[3]" in diag.location()
+
+    def test_span_with_explicit_end(self):
+        diag = Diagnostic(code="DYC301", severity=Severity.WARNING,
+                          message="m", function="f", block="entry",
+                          index=3, end_index=6)
+        assert diag.span() == (3, 6)
+        assert "[3:6]" in diag.location()
+        assert diag.to_json()["end_index"] == 6
+
+    def test_select_accepts_ranges(self):
+        diags = [
+            Diagnostic(code="DYC001", severity=Severity.ERROR, message="a"),
+            Diagnostic(code="DYC104", severity=Severity.WARNING, message="b"),
+            Diagnostic(code="DYC302", severity=Severity.WARNING, message="c"),
+        ]
+        picked = select_codes(diags, ("DYC100-DYC199",))
+        assert [d.code for d in picked] == ["DYC104"]
+        picked = select_codes(diags, ("DYC100-DYC199", "DYC3"))
+        assert [d.code for d in picked] == ["DYC104", "DYC302"]
+
+
+class TestCommandLine:
+    def test_interprocedural_flag_surfaces_warnings(self):
+        path = str(FIXTURES / "interproc_escape.minic")
+        assert main([path]) == 0
+        assert main(["--interprocedural", path]) == 0
+        assert main(["--strict", "--interprocedural", path]) == 1
+
+    def test_select_range_on_cli(self, capsys):
+        path = str(FIXTURES / "unbounded_cache.minic")
+        code = main(["--interprocedural", "--strict",
+                     "--select", "DYC300-DYC399", path])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DYC302" in out and "DYC104" not in out
+
+    def test_invalid_range_rejected(self):
+        assert main(["--select", "DYC900-DYC999", "x.minic"]) == 2
+        assert main(["--select", "100-199", "x.minic"]) == 2
+
+    def test_corpus_clean_via_cli(self):
+        paths = [str(p) for p in sorted(EXAMPLES.glob("*.py"))]
+        paths += [str(p) for p in sorted(WORKLOADS.glob("*.py"))]
+        assert main(["--strict", "--interprocedural"] + paths) == 0
