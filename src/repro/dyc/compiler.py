@@ -50,7 +50,8 @@ class CompiledProgram:
                      overhead=None,
                      tracked=frozenset(),
                      step_limit: int = 500_000_000,
-                     backend: str = "reference"):
+                     backend: str = "reference",
+                     codegen_mode: str = "counted"):
         """A machine + runtime pair ready to execute this program."""
         # Imported here: the runtime package imports the generating-
         # extension definitions from this package, so a module-level
@@ -67,6 +68,7 @@ class CompiledProgram:
             tracked=tracked,
             step_limit=step_limit,
             backend=backend,
+            codegen_mode=codegen_mode,
         )
         return machine, runtime
 

@@ -2,13 +2,15 @@
 
 ``what`` is one of ``table1`` … ``table5``, ``dispatch`` (the §4.4.3
 dispatch-cost measurements), ``all`` (default), or ``bench`` (wall-clock
-comparison of the two execution backends, written to
-``BENCH_interp.json``).
+comparison of the execution backends, written to ``BENCH_interp.json``).
 
 Shared flags::
 
-    --backend {reference,threaded}   execution backend (default: threaded,
+    --backend {reference,threaded,pycodegen}
+                                     execution backend (default: threaded,
                                      or $REPRO_BACKEND)
+    --codegen-mode {counted,fast}    pycodegen mode (default: counted,
+                                     or $REPRO_CODEGEN_MODE)
     --jobs N                         fan runs out over N worker processes
                                      (0 = one per CPU; default $REPRO_JOBS
                                      or serial)
@@ -26,7 +28,10 @@ them)::
     --task-timeout SECS              no-progress timeout per pool round
                                      (sets REPRO_TASK_TIMEOUT)
 
-``bench``-only flags: ``--output PATH`` and ``--repeat N``.
+``bench``-only flags: ``--output PATH``, ``--repeat N``, and
+``--compare`` (diff the committed report at ``--output`` against a
+fresh run instead of overwriting it; exits non-zero on semantic
+divergence).
 """
 
 from __future__ import annotations
@@ -39,6 +44,8 @@ import time
 
 from repro.evalharness.bench import (
     DEFAULT_BENCH_PATH,
+    compare_reports,
+    load_bench,
     run_bench,
     write_bench,
 )
@@ -53,7 +60,7 @@ from repro.evalharness.tables import (
     render_table,
     run_all,
 )
-from repro.machine import BACKENDS
+from repro.machine import BACKENDS, CODEGEN_MODES
 from repro.workloads import APPLICATIONS
 
 TARGETS = ("table1", "table2", "table3", "table4", "table5",
@@ -99,6 +106,11 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--backend", choices=BACKENDS, default=None,
                         help="execution backend (default: $REPRO_BACKEND "
                              "or threaded)")
+    parser.add_argument("--codegen-mode", choices=CODEGEN_MODES,
+                        default=None,
+                        help="pycodegen mode (default: "
+                             "$REPRO_CODEGEN_MODE or counted; sets "
+                             "$REPRO_CODEGEN_MODE for workers too)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes (0 = one per CPU; "
                              "default: $REPRO_JOBS or serial)")
@@ -124,20 +136,47 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--repeat", type=int, default=3, metavar="N",
                         help="bench only: timing repetitions per "
                              "measurement (best-of; default 3)")
+    parser.add_argument("--compare", action="store_true",
+                        help="bench only: diff the committed report at "
+                             "--output against a fresh run instead of "
+                             "overwriting it")
     return parser.parse_args(argv)
 
 
 def _bench(args: argparse.Namespace) -> int:
     report = run_bench(repeat=args.repeat)
+    if args.compare:
+        try:
+            committed = load_bench(args.output)
+        except (OSError, ValueError) as err:
+            print(f"cannot load committed report {args.output}: {err}",
+                  file=sys.stderr)
+            return 1
+        lines, ok = compare_reports(committed, report)
+        for line in lines:
+            print(line)
+        if not ok:
+            print("ERROR: committed bench report disagrees with the "
+                  "fresh run", file=sys.stderr)
+            return 1
+        return 0
     write_bench(report, args.output)
     print(json.dumps(report["backends"], indent=2))
-    print(f"speedup (reference/threaded): {report['speedup']}x")
+    for column, value in report["geomean"].items():
+        print(f"geomean speedup (reference/{column}): {value}x")
     print(f"report written to {args.output}")
+    failed = False
     if not report["checksums_match"]:
-        print("ERROR: backend execution statistics diverged "
+        print("ERROR: counted execution statistics diverged "
               "(stats_checksum mismatch)", file=sys.stderr)
+        failed = True
+    if not report["results_match"]:
+        print("ERROR: program results diverged across backends "
+              "(results_checksum mismatch)", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print("backend statistics checksums match")
+    print("backend statistics and results checksums match")
     return 0
 
 
@@ -157,6 +196,8 @@ def _export_robustness_env(args: argparse.Namespace) -> None:
         os.environ["REPRO_DEGRADE"] = "1"
     if args.task_timeout is not None:
         os.environ["REPRO_TASK_TIMEOUT"] = str(args.task_timeout)
+    if args.codegen_mode is not None:
+        os.environ["REPRO_CODEGEN_MODE"] = args.codegen_mode
 
 
 def main(argv: list[str]) -> int:

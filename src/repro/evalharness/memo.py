@@ -3,9 +3,12 @@
 Every quantity in a :class:`~repro.evalharness.runner.RunResult` is a
 deterministic function of the workload program text, its prepared inputs,
 the optimization configuration, and the cost/overhead models — the
-execution *backend* explicitly is not part of the key, because the two
-backends produce byte-identical statistics (enforced by
-``tests/test_threaded_backend.py``).  The memoizer therefore keys cached
+execution *backend* explicitly is not part of the key, because every
+backend produces byte-identical statistics (enforced by
+``tests/test_threaded_backend.py`` and
+``tests/test_pycodegen_backend.py``; the runner bypasses the memoizer
+entirely for pycodegen in fast mode, whose statistics are not counted).
+The memoizer therefore keys cached
 results on a SHA-256 of exactly those inputs, so re-running tables (or the
 full ``all`` sweep) only recomputes runs whose inputs actually changed.
 
@@ -39,7 +42,7 @@ from repro.workloads.base import Workload
 
 #: Bump when the RunResult layout or the fingerprint recipe changes;
 #: stale entries from older schemas simply never match.
-_SCHEMA = 2
+_SCHEMA = 3
 
 #: Default cache directory (relative to the current working directory)
 #: when none is given explicitly or via ``REPRO_MEMO_DIR``.

@@ -50,6 +50,12 @@ class RunResult:
     region_functions: dict[str, list[int]]
     outputs_match: bool = True
     return_values: tuple = ()
+    #: Backend-ladder degradations over both machines (static+dynamic):
+    #: threaded translations that fell back to the reference
+    #: interpreter, and codegen compilations that fell back to the
+    #: threaded backend or the reference interpreter.
+    degraded_translations: int = 0
+    degraded_compilations: int = 0
 
     # ------------------------------------------------------------------
 
@@ -57,7 +63,11 @@ class RunResult:
     def degraded(self) -> bool:
         """True when any region walked down the degradation ladder
         (failed specializations, fallback executions, quarantines,
-        budget truncations, or cache corruption recoveries)."""
+        budget truncations, or cache corruption recoveries) or any
+        backend walked down the backend ladder (refused translations
+        or compilations)."""
+        if self.degraded_translations or self.degraded_compilations:
+            return True
         return any(stats.degraded for stats in self.region_stats.values())
 
     @property
@@ -120,27 +130,43 @@ class RunResult:
 
 
 def _machine_kwargs(workload: Workload, cost_model: CostModel,
-                    backend: str):
+                    backend: str, codegen_mode: str = "counted"):
     icache = None
     if workload.icache_capacity_bytes is not None:
         icache = ICacheModel(
             capacity_bytes=workload.icache_capacity_bytes
         )
-    return dict(cost_model=cost_model, icache=icache, backend=backend)
+    return dict(cost_model=cost_model, icache=icache, backend=backend,
+                codegen_mode=codegen_mode)
 
 
 def resolve_backend(backend: str | None) -> str:
     """Resolve an execution backend choice.
 
     ``None`` falls back to the ``REPRO_BACKEND`` environment variable,
-    then to the fast threaded backend (the two backends produce
-    byte-identical stats, so the harness defaults to the fast one).
+    then to the fast threaded backend (all backends produce
+    byte-identical stats — pycodegen in counted mode — so the harness
+    defaults to a fast one).
     """
     if backend is None:
         backend = os.environ.get("REPRO_BACKEND") or "threaded"
-    if backend not in ("reference", "threaded"):
+    if backend not in ("reference", "threaded", "pycodegen"):
         raise ValueError(f"unknown backend {backend!r}")
     return backend
+
+
+def resolve_codegen_mode(mode: str | None) -> str:
+    """Resolve the pycodegen mode choice.
+
+    ``None``/empty falls back to the ``REPRO_CODEGEN_MODE`` environment
+    variable, then to ``counted`` (stats byte-identical to the
+    reference interpreter; ``fast`` drops all cycle accounting).
+    """
+    if not mode:
+        mode = os.environ.get("REPRO_CODEGEN_MODE") or "counted"
+    if mode not in ("counted", "fast"):
+        raise ValueError(f"unknown codegen mode {mode!r}")
+    return mode
 
 
 def run_workload(workload: Workload,
@@ -150,15 +176,24 @@ def run_workload(workload: Workload,
                  module: Module | None = None,
                  verify: bool = True,
                  backend: str | None = None,
+                 codegen_mode: str | None = None,
                  memo=None) -> RunResult:
     """Execute ``workload`` statically and dynamically; return metrics.
 
     With a :class:`~repro.evalharness.memo.Memoizer` in ``memo``, the run
     (or its deterministic :class:`SpecializationError`) is served from and
     stored to the content-hash cache.  The backend is deliberately not
-    part of the cache key: both backends produce byte-identical stats.
+    part of the cache key: all backends produce byte-identical stats —
+    except pycodegen in fast mode, which drops cycle accounting, so
+    fast-mode runs bypass the memo entirely.
     """
     backend = resolve_backend(backend)
+    codegen_mode = resolve_codegen_mode(codegen_mode
+                                        or config.codegen_mode)
+    if backend == "pycodegen" and codegen_mode == "fast":
+        # Fast-mode stats are not the shared byte-identical stats the
+        # cache is keyed for; never serve or store them.
+        memo = None
     if memo is not None and module is None:
         key = memo.key_for(workload, config, cost_model, overhead, verify)
         cached = memo.get(key)   # raises cached SpecializationError
@@ -168,6 +203,7 @@ def run_workload(workload: Workload,
             result = run_workload(
                 workload, config, cost_model, overhead,
                 verify=verify, backend=backend,
+                codegen_mode=codegen_mode,
             )
         except SpecializationError as err:
             memo.put_error(key, err)
@@ -184,7 +220,7 @@ def run_workload(workload: Workload,
     static_input = workload.setup(static_memory)
     static_machine = Machine(
         static_module, memory=static_memory, tracked=tracked,
-        **_machine_kwargs(workload, cost_model, backend),
+        **_machine_kwargs(workload, cost_model, backend, codegen_mode),
     )
     static_result = static_machine.run(workload.entry,
                                        *static_input.args)
@@ -195,7 +231,7 @@ def run_workload(workload: Workload,
     dynamic_input = workload.setup(dynamic_memory)
     dynamic_machine, runtime = compiled.make_machine(
         memory=dynamic_memory, tracked=tracked, overhead=overhead,
-        **_machine_kwargs(workload, cost_model, backend),
+        **_machine_kwargs(workload, cost_model, backend, codegen_mode),
     )
     dynamic_result = dynamic_machine.run(workload.entry,
                                          *dynamic_input.args)
@@ -235,4 +271,12 @@ def run_workload(workload: Workload,
         region_functions=dict(compiled.region_functions),
         outputs_match=outputs_match,
         return_values=(static_result, dynamic_result),
+        degraded_translations=(
+            static_machine.stats.degraded_translations
+            + dynamic_machine.stats.degraded_translations
+        ),
+        degraded_compilations=(
+            static_machine.stats.degraded_compilations
+            + dynamic_machine.stats.degraded_compilations
+        ),
     )

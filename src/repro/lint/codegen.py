@@ -1,0 +1,97 @@
+"""DYC210: emitted-source size budget for the codegen backend.
+
+The Python-codegen backend (:mod:`repro.machine.pycodegen`) refuses to
+compile a function whose emitted source exceeds its size limit and falls
+back to the threaded backend — but by then the specializer has already
+paid for the runaway unrolling that produced the oversize region.  This
+lint estimates the emitted size *statically*, before any specialization
+runs: the region template's instruction count, multiplied by the
+worst-case number of specialization contexts a completely unrolled loop
+can produce (``OptConfig.specialize_budget``, or the module-wide
+per-batch ceiling when unbounded), priced with the shared
+:mod:`repro.opt.regionshape` character estimates so the lint's notion of
+"how big does this get" cannot drift from the backend's actual layout.
+
+Armed via ``OptConfig.codegen_source_budget`` (or the linter CLI's
+``--codegen-budget``); the default of 0 disables the check.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import natural_loops
+from repro.bta.facts import RegionInfo
+from repro.config import OptConfig
+from repro.ir.function import Function
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.opt.regionshape import estimate_emitted_chars
+from repro.runtime.specializer import MAX_CONTEXTS_PER_BATCH
+
+
+def _unroll_multiplier(function: Function, region: RegionInfo,
+                       config: OptConfig) -> int:
+    """Worst-case context count for the region's emitted code.
+
+    A loop contained entirely in the region is a complete-unrolling
+    candidate: every iteration becomes another specialized copy of the
+    body, bounded only by the per-batch context budget.  Without such a
+    loop (or with unrolling disabled) the emitted code is one copy of
+    the template.
+    """
+    if not config.complete_loop_unrolling:
+        return 1
+    for loop in natural_loops(function):
+        if (loop.header in region.blocks
+                and all(label in region.blocks for label in loop.body)):
+            return config.specialize_budget or MAX_CONTEXTS_PER_BATCH
+    return 1
+
+
+def check_codegen_size(function: Function,
+                       regions: list[RegionInfo],
+                       config: OptConfig) -> list[Diagnostic]:
+    """DYC210: emitted Python source would blow the size budget.
+
+    Estimated size is template instructions (and blocks) times the
+    worst-case unrolling multiplier, at the per-instruction/per-block
+    character prices the codegen layout module publishes.  Exceeding
+    ``config.codegen_source_budget`` means the pycodegen backend would
+    refuse the region at run time and silently degrade to the threaded
+    backend — better to bound the unrolling (``specialize_budget``) or
+    shrink the region up front.
+    """
+    budget = config.codegen_source_budget
+    if budget <= 0:
+        return []
+    diags: list[Diagnostic] = []
+    for region in regions:
+        instrs = 0
+        blocks = 0
+        for label in region.blocks:
+            block = function.blocks.get(label)
+            if block is None:
+                continue
+            instrs += len(block.instrs)
+            blocks += 1
+        multiplier = _unroll_multiplier(function, region, config)
+        estimate = estimate_emitted_chars(instrs * multiplier,
+                                          blocks * multiplier)
+        if estimate <= budget:
+            continue
+        if multiplier > 1:
+            shape = (f"{instrs} template instructions x {multiplier} "
+                     "worst-case unrolled contexts")
+        else:
+            shape = f"{instrs} template instructions"
+        diags.append(Diagnostic(
+            code="DYC210",
+            severity=Severity.WARNING,
+            message=f"estimated emitted Python source for region "
+                    f"{region.region_id} is ~{estimate} chars ({shape}), "
+                    f"over the {budget}-char codegen budget; the "
+                    "pycodegen backend would refuse it at run time and "
+                    "degrade to the threaded backend — bound the "
+                    "unrolling (specialize_budget) or shrink the region",
+            function=function.name,
+            block=region.entry_block,
+        ))
+    return diags

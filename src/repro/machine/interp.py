@@ -99,7 +99,7 @@ def _ensure_recursion_headroom() -> None:
 
 
 #: Execution backends accepted by :class:`Machine`.
-BACKENDS = ("reference", "threaded")
+BACKENDS = ("reference", "threaded", "pycodegen")
 
 
 @dataclass
@@ -117,6 +117,11 @@ class ExecutionStats:
     #: interpreter (injected ``threaded.translate`` faults).  Zero on a
     #: clean run; the fallback is cycle-identical by construction.
     degraded_translations: int = 0
+    #: Codegen-backend compilations that fell back down the backend
+    #: ladder (injected ``pycodegen.compile`` faults, oversize sources).
+    #: Zero on a clean run; the fallback is cycle-identical in counted
+    #: mode by construction.
+    degraded_compilations: int = 0
 
     def snapshot(self) -> "ExecutionStats":
         return ExecutionStats(
@@ -128,6 +133,7 @@ class ExecutionStats:
             scope_cycles=dict(self.scope_cycles),
             scope_entries=dict(self.scope_entries),
             degraded_translations=self.degraded_translations,
+            degraded_compilations=self.degraded_compilations,
         )
 
 
@@ -148,8 +154,14 @@ class Machine:
         Names of functions whose inclusive cycles should be attributed in
         ``stats.scope_cycles`` (the paper's dynamic-region timings).
     backend:
-        ``"reference"`` (per-instruction interpreter) or ``"threaded"``
-        (direct-threaded closure translation; same stats, much faster).
+        ``"reference"`` (per-instruction interpreter), ``"threaded"``
+        (direct-threaded closure translation; same stats, much faster),
+        or ``"pycodegen"`` (functions compiled to Python code objects;
+        same stats in counted mode, faster still).
+    codegen_mode:
+        Only meaningful with ``backend="pycodegen"``: ``"counted"``
+        (stats byte-identical to the reference interpreter) or
+        ``"fast"`` (no cycle accounting, pure wall-clock speed).
     """
 
     def __init__(
@@ -162,6 +174,7 @@ class Machine:
         tracked: frozenset[str] | set[str] = frozenset(),
         step_limit: int = 500_000_000,
         backend: str = "reference",
+        codegen_mode: str = "counted",
     ) -> None:
         self.module = module
         self.memory = memory if memory is not None else Memory()
@@ -186,12 +199,17 @@ class Machine:
                 f"unknown backend {backend!r} (expected one of {BACKENDS})"
             )
         self.backend = backend
+        self.codegen_mode = codegen_mode
         if backend == "threaded":
             # Imported here so the reference interpreter has no load-time
             # dependency on its replacement.
             from repro.machine.threaded import ThreadedBackend
 
             self._backend = ThreadedBackend(self)
+        elif backend == "pycodegen":
+            from repro.machine.pycodegen import PyCodegenBackend
+
+            self._backend = PyCodegenBackend(self, mode=codegen_mode)
         else:
             self._backend = None
         _ensure_recursion_headroom()

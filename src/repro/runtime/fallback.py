@@ -25,9 +25,30 @@ region's *template* (the pre-rewrite snapshot of the host CFG that
 Annotation markers (``MakeStatic``/``MakeDynamic``) are stripped: they
 are free no-ops at execution time, but the fallback should look like the
 statically compiled code, which never carries them.
+
+A parallel, orthogonal ladder exists at the *backend* level (see
+:data:`BACKEND_LADDER`): which execution engine runs the code, as
+opposed to which code runs.  Both ladders compose — a workload can
+degrade from the pycodegen backend to the threaded backend on an
+injected compile fault while, independently, a region degrades from
+specialized code to this module's unspecialized fallback.
 """
 
 from __future__ import annotations
+
+#: Backend degradation ladder, fastest rung first.  The pycodegen
+#: backend (:mod:`repro.machine.pycodegen`) degrades to the threaded
+#: backend on a :class:`~repro.machine.pycodegen.CompileFault`
+#: (injected ``pycodegen.compile`` faults, oversize generated sources),
+#: and the threaded backend (:mod:`repro.machine.threaded`) degrades to
+#: the reference interpreter on a
+#: :class:`~repro.machine.threaded.TranslationFault` (injected
+#: ``threaded.translate`` faults).  Mid-region failures skip straight
+#: to the reference interpreter, the only rung resumable at an
+#: arbitrary label from outside.  Every rung is cycle-identical in
+#: counted mode, so degradation is invisible in the stats except for
+#: the ``degraded_compilations`` / ``degraded_translations`` counters.
+BACKEND_LADDER = ("pycodegen", "threaded", "reference")
 
 from repro.errors import SpecializationError
 from repro.ir.function import BasicBlock, Function

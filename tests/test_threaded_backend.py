@@ -189,7 +189,7 @@ class TestBackendSelection:
             Machine(mod, backend="jit")
 
     def test_backends_listing(self):
-        assert BACKENDS == ("reference", "threaded")
+        assert BACKENDS == ("reference", "threaded", "pycodegen")
 
     def test_trap_matches_reference(self):
         for backend in BACKENDS:
