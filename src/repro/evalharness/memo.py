@@ -36,13 +36,15 @@ from repro.errors import SpecializationBudgetError, SpecializationError
 from repro.faults import resolve_degrade, resolve_fault_spec
 from repro.ir import Memory
 from repro.machine.costs import CostModel
+from repro.machine.pycodegen import resolve_source_limit
+from repro.machine.threaded import resolve_fusion_threshold
 from repro.runtime.overhead import OverheadModel
 from repro.workloads import WORKLOADS_BY_NAME
 from repro.workloads.base import Workload
 
 #: Bump when the RunResult layout or the fingerprint recipe changes;
 #: stale entries from older schemas simply never match.
-_SCHEMA = 3
+_SCHEMA = 4
 
 #: Default cache directory (relative to the current working directory)
 #: when none is given explicitly or via ``REPRO_MEMO_DIR``.
@@ -67,6 +69,30 @@ def _fingerprint_inputs(workload: Workload) -> str:
     inp = workload.setup(memory)
     has_checksum = inp.checksum is not None
     return repr((tuple(inp.args), has_checksum, memory.words()))
+
+
+def backend_env_fingerprint() -> tuple:
+    """Resolved values of backend-affecting environment knobs.
+
+    These knobs change *how* a run executes — when the threaded tier
+    quickens (``REPRO_FUSION_THRESHOLD``), when the codegen tier refuses
+    an oversize source and walks the backend ladder
+    (``REPRO_PYCODEGEN_SOURCE_LIMIT``, which bumps
+    ``degraded_compilations``), and when the supervised pool abandons a
+    round (``REPRO_TASK_TIMEOUT``, which decides whether a hung worker's
+    task is retried or reported).  None of them is visible in
+    ``OptConfig``, so without feeding the *resolved* values into the key
+    a warm hit could serve a result computed under a different
+    configuration.  The timeout is read through
+    :func:`repro.evalharness.parallel.resolve_task_timeout` lazily to
+    keep this module import-light.
+    """
+    from repro.evalharness.parallel import resolve_task_timeout
+    return (
+        resolve_fusion_threshold(),
+        resolve_source_limit(),
+        resolve_task_timeout(),
+    )
 
 
 def memo_key(workload: Workload,
@@ -96,6 +122,9 @@ def memo_key(workload: Workload,
     # versa).
     feed(("resolved_faults", resolve_fault_spec(config)))
     feed(("resolved_degrade", resolve_degrade(config)))
+    # Backend-affecting environment knobs (same rationale: they change
+    # run behavior but are invisible to ``asdict(config)``).
+    feed(("resolved_env", backend_env_fingerprint()))
     feed(sorted(dataclasses.asdict(cost_model).items()))
     feed(sorted(dataclasses.asdict(overhead).items()))
     feed(verify)

@@ -53,6 +53,8 @@ FAULT_POINTS: dict[str, str] = {
         "the codegen backend fails to compile a function to Python",
     "threaded.translate":
         "the threaded backend fails to translate a function",
+    "serve.admit":
+        "the serve daemon fails an admitted request before execution",
     "worker.crash":
         "a pool worker dies with os._exit (BrokenProcessPool)",
     "worker.error":

@@ -1,0 +1,201 @@
+"""Superinstruction fusion profiles, fed back into codegen trace layout.
+
+The threaded backend's quickening tier (``DESIGN.md`` §9) discovers which
+code is hot *dynamically*: translations that re-enter often are
+retranslated with superinstruction fusion.  The block transfers those hot
+translations perform are exactly the pairs the Python-codegen backend
+would like to know about *statically*, before it lays out its traces —
+a transfer that codegen places as fallthrough costs nothing, while one
+that crosses chains pays a dispatch through the label loop.
+
+This module closes that loop:
+
+1. **Collect** — while a collector is armed
+   (:func:`start_collecting`), the threaded drivers record every
+   block-to-block transfer as an ``(function, src_label, dst_label)``
+   edge count.  Collection is off by default and costs nothing when off
+   (the drivers check a module-level reference once per entry).
+2. **Persist** — :meth:`FusionProfile.save` /
+   :meth:`FusionProfile.load` round-trip the counts through a sorted,
+   versioned JSON file (``--fusion-profile-out`` on the eval-harness
+   CLI).
+3. **Feed back** — an installed profile (:func:`install`, or lazily
+   from the ``REPRO_FUSION_PROFILE_IN`` environment variable, which
+   ``--fusion-profile-in`` exports so ``--jobs`` pool workers inherit
+   it) is consulted by :func:`repro.opt.regionshape.region_shape` via
+   :func:`successors_for`: trace growth prefers the *observed hottest*
+   successor over the static fallthrough heuristic, and whole chains
+   are ordered hottest-first so hot transfers get dense low ids.
+
+Layout never affects semantics or cycle accounting — the counted
+backends charge per instruction, not per emitted line — so a profile
+can only change how much of the generated dispatch is fallthrough.
+A stale or mismatched profile degrades to the static heuristic
+edge-by-edge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: Bump when the JSON layout changes; loaders reject other schemas.
+_SCHEMA = 1
+
+#: Environment variable naming a profile JSON to install lazily (set by
+#: the eval-harness CLI's ``--fusion-profile-in`` so pool workers see
+#: the same profile as the parent).
+ENV_PROFILE_IN = "REPRO_FUSION_PROFILE_IN"
+
+
+class FusionProfile:
+    """Observed block-transfer counts, keyed per function name.
+
+    Region code buffers get distinct specialization-derived names, so
+    keying on ``Function.name`` keeps host functions and each region
+    buffer separate without holding references to IR objects.
+    """
+
+    def __init__(self) -> None:
+        #: function name -> (src label, dst label) -> count
+        self.edges: dict[str, dict[tuple[str, str], int]] = {}
+
+    def record(self, function: str, src: str, dst: str,
+               count: int = 1) -> None:
+        edges = self.edges.get(function)
+        if edges is None:
+            edges = self.edges[function] = {}
+        key = (src, dst)
+        edges[key] = edges.get(key, 0) + count
+
+    def merge(self, other: "FusionProfile") -> None:
+        for function, edges in other.edges.items():
+            for (src, dst), count in edges.items():
+                self.record(function, src, dst, count)
+
+    def successors(self, function: str) -> dict[str, dict[str, int]]:
+        """``src label -> {dst label -> count}`` for one function."""
+        out: dict[str, dict[str, int]] = {}
+        for (src, dst), count in self.edges.get(function, {}).items():
+            out.setdefault(src, {})[dst] = count
+        return out
+
+    @property
+    def total_edges(self) -> int:
+        return sum(len(edges) for edges in self.edges.values())
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """A sorted, deterministic JSON-ready form."""
+        return {
+            "schema": _SCHEMA,
+            "functions": {
+                function: [
+                    [src, dst, count]
+                    for (src, dst), count in sorted(edges.items())
+                ]
+                for function, edges in sorted(self.edges.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FusionProfile":
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != _SCHEMA:
+            raise ValueError(
+                f"unsupported fusion-profile schema "
+                f"{payload.get('schema') if isinstance(payload, dict) else payload!r}"
+            )
+        profile = cls()
+        for function, edges in payload.get("functions", {}).items():
+            for src, dst, count in edges:
+                profile.record(function, src, dst, int(count))
+        return profile
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FusionProfile":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# Module-level collection and installation
+# ----------------------------------------------------------------------
+# One collector and one installed profile per process keeps the plumbing
+# out of every Machine/backend constructor; the threaded drivers check
+# the collector once per function entry, and the codegen emitter asks
+# for the installed profile once per compilation.
+
+_collector: FusionProfile | None = None
+_installed: FusionProfile | None = None
+_env_checked = False
+
+
+def start_collecting() -> FusionProfile:
+    """Arm edge collection; returns the (shared) collecting profile."""
+    global _collector
+    if _collector is None:
+        _collector = FusionProfile()
+    return _collector
+
+
+def stop_collecting() -> FusionProfile | None:
+    """Disarm collection; returns the collected profile, if any."""
+    global _collector
+    profile, _collector = _collector, None
+    return profile
+
+
+def collector() -> FusionProfile | None:
+    """The armed collecting profile, or None (the common, free case)."""
+    return _collector
+
+
+def install(profile: FusionProfile | None) -> None:
+    """Install ``profile`` as the process-wide feedback profile."""
+    global _installed, _env_checked
+    _installed = profile
+    _env_checked = True
+
+
+def installed() -> FusionProfile | None:
+    """The installed profile, lazily resolving ``REPRO_FUSION_PROFILE_IN``.
+
+    An unreadable or malformed file degrades to "no profile" — feedback
+    is an optimization hint, never a correctness dependency.
+    """
+    global _installed, _env_checked
+    if not _env_checked:
+        _env_checked = True
+        path = os.environ.get(ENV_PROFILE_IN, "").strip()
+        if path:
+            try:
+                _installed = FusionProfile.load(path)
+            except (OSError, ValueError):
+                _installed = None
+    return _installed
+
+
+def reset(clear_env_cache: bool = True) -> None:
+    """Drop collector and installed profile (tests)."""
+    global _collector, _installed, _env_checked
+    _collector = None
+    _installed = None
+    if clear_env_cache:
+        _env_checked = False
+
+
+def successors_for(function: str) -> dict[str, dict[str, int]] | None:
+    """Observed successor counts for ``function`` from the installed
+    profile, or None when no profile (or no data for it) exists."""
+    profile = installed()
+    if profile is None:
+        return None
+    successors = profile.successors(function)
+    return successors or None

@@ -79,6 +79,7 @@ from repro.ir.instructions import (
     Store,
     UnOp,
 )
+from repro.machine import fusionprofile
 from repro.machine.costs import binop_terms, flat_term, move_terms
 from repro.machine.threaded import (
     BINOP_FUNCS,
@@ -239,7 +240,13 @@ class _Emitter:
         self.counted = mode == "counted"
         self.version = fn.version
         self.step_limit = machine.step_limit
-        self.shape = region_shape(fn)
+        # Observed-transfer feedback (superinstruction fusion profiles
+        # collected on the threaded tier) reorders the trace layout so
+        # hot transfers become fallthrough; None falls back to the
+        # static heuristic.  Layout cannot affect counted stats.
+        self.shape = region_shape(
+            fn, fusionprofile.successors_for(fn.name)
+        )
         self.ids = self.shape.ids
         self.lines: list[str] = []
         self.consts: list = []

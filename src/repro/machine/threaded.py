@@ -70,6 +70,7 @@ from repro.ir.instructions import (
     Store,
     UnOp,
 )
+from repro.machine import fusionprofile
 from repro.machine.costs import binop_terms, flat_term, move_terms
 
 # ----------------------------------------------------------------------
@@ -298,10 +299,13 @@ class ThreadedBackend:
             return machine._exec_function_interp(function, env)
         runners = trans.runners
         fuel = self._fusion_fuel(trans)
+        profile = fusionprofile.collector()
         label = function.entry
         while True:
             kind, payload = runners[label](env)
             if kind == "jump":
+                if profile is not None:
+                    profile.record(function.name, label, payload)
                 label = payload
                 if fuel is not None:
                     fuel -= 1
@@ -342,6 +346,7 @@ class ThreadedBackend:
             return machine._exec_region_interp(code, env, footprint,
                                                code.entry)
         fuel = self._fusion_fuel(trans)
+        profile = fusionprofile.collector()
         label = code.entry
         while True:
             if code.version != trans.version:
@@ -357,6 +362,8 @@ class ThreadedBackend:
                 fuel = self._fusion_fuel(trans)
             kind, payload = trans.runners[label](env)
             if kind == "jump":
+                if profile is not None:
+                    profile.record(code.name, label, payload)
                 label = payload
                 if fuel is not None:
                     fuel -= 1

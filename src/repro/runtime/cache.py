@@ -25,6 +25,7 @@ accounting byte-identical to the original unbounded implementation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -93,6 +94,28 @@ class CodeCache:
     ``cache.corrupt`` / ``cache.evict`` points on insertion.
     ``on_evict`` / ``on_corrupt`` are no-argument callbacks for stats
     accounting.
+
+    Thread safety
+    -------------
+
+    By default a ``CodeCache`` is **thread-confined**: the runtime
+    builds one per promotion point inside a
+    :class:`~repro.runtime.runtime.DycRuntime`, and every runtime (with
+    its caches, fault registry, and quarantine table) is owned by
+    exactly one run on one thread — that confinement is the invariant
+    the eval harness and the serve daemon's per-request runs rely on,
+    and it is what keeps probe accounting byte-identical.
+
+    ``lock=True`` arms an internal ``RLock`` around ``lookup`` /
+    ``insert`` / ``items`` / ``len`` for caches that *are* shared
+    across threads (the serve daemon's sharded result cache).  Each
+    operation is then atomic — eviction picks its victim and deletes it
+    under the same lock acquisition that inserts the new entry, and a
+    corrupt hit is deleted before the lookup returns — so concurrent
+    readers can never observe a half-applied eviction or a
+    checksum-mismatched value.  The callbacks (``on_evict`` /
+    ``on_corrupt`` / ``checksum``) run while the lock is held and must
+    not re-enter the cache from another thread.
     """
 
     def __init__(self, initial_size: int = 16,
@@ -101,7 +124,8 @@ class CodeCache:
                  checksum=None,
                  faults=None,
                  on_evict=None,
-                 on_corrupt=None) -> None:
+                 on_corrupt=None,
+                 lock: bool = False) -> None:
         if initial_size < 4:
             raise CacheError("cache size must be at least 4")
         if capacity < 0:
@@ -121,13 +145,18 @@ class CodeCache:
         self._faults = faults
         self._on_evict = on_evict
         self._on_corrupt = on_corrupt
+        self._lock = threading.RLock() if lock else None
         self.total_probes = 0
         self.total_lookups = 0
         self.evictions = 0
         self.corrupt_hits = 0
 
     def __len__(self) -> int:
-        return self._count
+        guard = self._lock
+        if guard is None:
+            return self._count
+        with guard:
+            return self._count
 
     @property
     def capacity(self) -> int:
@@ -149,6 +178,13 @@ class CodeCache:
         A hit whose integrity stamp no longer matches is deleted and
         reported as a miss — the caller re-specializes and re-inserts.
         """
+        guard = self._lock
+        if guard is None:
+            return self._lookup(key)
+        with guard:
+            return self._lookup(key)
+
+    def _lookup(self, key: tuple) -> LookupResult:
         probes = 0
         self.total_lookups += 1
         stamps = self._stamps
@@ -175,6 +211,13 @@ class CodeCache:
         return LookupResult(False, None, probes)
 
     def insert(self, key: tuple, value) -> None:
+        guard = self._lock
+        if guard is None:
+            return self._insert(key, value)
+        with guard:
+            return self._insert(key, value)
+
+    def _insert(self, key: tuple, value) -> None:
         faults = self._faults
         if faults is not None and faults.should_fire("cache.evict"):
             self._evict_one()
@@ -305,6 +348,14 @@ class CodeCache:
         return self.total_probes / self.total_lookups
 
     def items(self):
+        guard = self._lock
+        if guard is None:
+            return self._items()
+        with guard:
+            # Snapshot under the lock; callers iterate lock-free.
+            return iter(list(self._items()))
+
+    def _items(self):
         for key, value in zip(self._keys, self._values):
             if key is not _EMPTY and key is not _TOMBSTONE:
                 yield key, value

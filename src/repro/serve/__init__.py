@@ -1,0 +1,50 @@
+"""Specialization-as-a-service: an asyncio daemon over the harness.
+
+``python -m repro.serve`` exposes the eval harness's (workload, config)
+runs over HTTP with a sharded multi-tenant result cache, per-tenant
+admission control, heat-tiered backend selection, and the degradation
+ladder wired into the request path.  ``python -m repro.serve.loadgen``
+is the matching deterministic traffic-replay load generator.
+
+Endpoints
+---------
+
+================  ====================================================
+``POST /run``     execute (or serve from cache) a workload run; body
+                  ``{"workload": ..., "tenant": ..., "config": {...},
+                  "verify": true, "no_cache": false}``
+``GET /stats``    cache shards, admission queue, tiers, degradation
+                  counters, per-tenant tallies, fault-point hits
+``GET /healthz``  liveness + in-flight + quarantine summary
+``GET /workloads``  available workload names
+================  ====================================================
+
+See ``DESIGN.md`` §10 for the architecture.
+"""
+
+from repro.serve.admission import AdmissionQueue, Backpressure, \
+    QuotaExceeded
+from repro.serve.app import ServeApp
+from repro.serve.cache import ShardedResultCache
+from repro.serve.http import ServeDaemon
+from repro.serve.protocol import (
+    RunRequest,
+    classify_error,
+    parse_run_request,
+    result_payload,
+    run_fingerprint,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "Backpressure",
+    "QuotaExceeded",
+    "RunRequest",
+    "ServeApp",
+    "ServeDaemon",
+    "ShardedResultCache",
+    "classify_error",
+    "parse_run_request",
+    "result_payload",
+    "run_fingerprint",
+]

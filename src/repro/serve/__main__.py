@@ -1,0 +1,122 @@
+"""Run the serve daemon: ``python -m repro.serve [flags]``.
+
+Flags::
+
+    --host HOST             bind address (default 127.0.0.1)
+    --port PORT             bind port (default 8950; 0 = ephemeral)
+    --shards N              result-cache shards (default 8)
+    --cache-capacity N      entries per shard (default 256)
+    --workers N             executor threads == max concurrent runs
+                            (default min(8, cpus))
+    --max-queue N           admission queue depth before 503s
+                            (default 1024)
+    --tenant-quota N        per-tenant in-flight limit before 429s
+                            (default 128)
+    --faults SPEC           arm server-side fault points (serve.admit,
+                            cache.corrupt, cache.evict); combined with
+                            $REPRO_FAULTS
+
+The daemon prints one ``serving on http://host:port`` line to stderr
+once the socket is bound, so supervisors (and the CI smoke job) can
+wait for readiness by watching stderr or polling ``GET /healthz``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.faults import combine_specs, parse_spec
+from repro.serve.app import (
+    DEFAULT_CAPACITY_PER_SHARD,
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_SHARDS,
+    DEFAULT_TENANT_QUOTA,
+    ServeApp,
+)
+from repro.serve.http import ServeDaemon
+
+DEFAULT_PORT = 8950
+
+
+def _raise_nofile_limit(target: int = 4096) -> None:
+    """Best-effort RLIMIT_NOFILE bump for high-concurrency clients."""
+    try:
+        import resource
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < target:
+            resource.setrlimit(resource.RLIMIT_NOFILE,
+                               (min(target, hard), hard))
+    except (ImportError, ValueError, OSError):
+        pass
+
+
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve (workload, config) runs over HTTP with a "
+                    "sharded multi-tenant result cache.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    parser.add_argument("--cache-capacity", type=int,
+                        default=DEFAULT_CAPACITY_PER_SHARD,
+                        help="entries per shard")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--max-queue", type=int,
+                        default=DEFAULT_MAX_QUEUE)
+    parser.add_argument("--tenant-quota", type=int,
+                        default=DEFAULT_TENANT_QUOTA)
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="server-side fault spec (e.g. "
+                             "'serve.admit:every=50')")
+    return parser.parse_args(argv)
+
+
+def build_app(args: argparse.Namespace) -> ServeApp:
+    import os
+    fault_spec = combine_specs(args.faults,
+                               os.environ.get("REPRO_FAULTS"))
+    if fault_spec:
+        parse_spec(fault_spec)  # fail fast on typos, before binding
+    return ServeApp(
+        shards=args.shards,
+        cache_capacity=args.cache_capacity,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        tenant_quota=args.tenant_quota,
+        fault_spec=fault_spec or None,
+    )
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    app = build_app(args)
+    daemon = ServeDaemon(app, host=args.host, port=args.port)
+    await daemon.start()
+    print(f"serving on http://{args.host}:{daemon.port} "
+          f"(workers={app.admission.max_concurrency}, "
+          f"shards={len(app.cache.stats()['shards'])}, "
+          f"faults={app.fault_spec or 'none'})",
+          file=sys.stderr, flush=True)
+    try:
+        await daemon.serve_forever()
+    finally:
+        await daemon.close()
+        app.close()
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = _parse_args(argv)
+    _raise_nofile_limit()
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,184 @@
+"""Minimal HTTP/1.1 server over ``asyncio`` streams (stdlib only).
+
+The daemon speaks just enough HTTP for its JSON API: request line,
+headers, ``Content-Length`` bodies, and keep-alive (the load generator
+holds one connection per virtual client, so connection reuse matters
+at 1000-way concurrency).  No chunked encoding, no TLS, no pipelining
+guarantees beyond strict request/response alternation — this is a
+measurement harness, not a general server.
+
+Responses are JSON with sorted keys, so identical results serialize to
+identical bytes — the property the load generator's byte-identical
+verification leans on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve.protocol import MAX_BODY_BYTES
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+#: Per-header-block read limit; a client sending an unbounded header
+#: section is cut off rather than buffered.
+_MAX_HEADER_BYTES = 16 * 1024
+
+
+class ProtocolError(Exception):
+    """Malformed HTTP from the client; carries the response status."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(message)
+
+
+async def read_request(reader: asyncio.StreamReader):
+    """Read one request; returns ``(method, path, headers, body)``.
+
+    Returns ``None`` on a clean EOF (client closed between requests).
+    Raises :class:`ProtocolError` on malformed input.
+    """
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return None
+        raise ProtocolError(400, "truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(400, "request line too long") from None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line {line!r}")
+    method, path, _version = parts
+    headers: dict[str, str] = {}
+    total = len(line)
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise ProtocolError(400, "truncated headers") from None
+        total += len(line)
+        if total > _MAX_HEADER_BYTES:
+            raise ProtocolError(400, "header section too large")
+        if line == b"\r\n":
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(400,
+                            f"bad Content-Length {length_text!r}") from None
+    if length < 0:
+        raise ProtocolError(400, "negative Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError(413, f"body of {length} bytes exceeds "
+                                 f"{MAX_BODY_BYTES}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "truncated body") from None
+    return method, path, headers, body
+
+
+def render_response(status: int, payload: dict,
+                    keep_alive: bool = True) -> bytes:
+    """Serialize a JSON response (sorted keys → deterministic bytes)."""
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+class ServeDaemon:
+    """Bind/serve wrapper tying the HTTP layer to a ``ServeApp``."""
+
+    def __init__(self, app, host: str = "127.0.0.1", port: int = 0):
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port,
+            limit=MAX_BODY_BYTES + _MAX_HEADER_BYTES,
+        )
+        # Resolve the real port when started with port 0 (tests).
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling --------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as err:
+                    writer.write(render_response(
+                        err.status,
+                        {"error": {"code": "protocol_error",
+                                   "message": str(err)}},
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self.app.handle(method, path, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                writer.write(render_response(status, payload, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass

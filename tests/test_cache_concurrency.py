@@ -1,0 +1,162 @@
+"""Multi-threaded stress tests for the bounded, locked ``CodeCache``.
+
+The serve daemon shares shard caches between the event-loop thread
+(lookups) and executor worker threads (insertions); these tests hammer
+a ``lock=True`` cache from many threads and assert the invariants that
+sharing relies on:
+
+* the live-entry count never exceeds ``capacity``;
+* a lookup never observes a half-applied eviction (every hit returns
+  the exact value inserted for that key);
+* with ``cache.corrupt`` injection armed, corrupt entries are detected,
+  deleted, and counted — never served;
+* counters stay internally consistent after the storm.
+
+The *other* caches — the per-runtime promotion and cache-all tables —
+are deliberately not locked: they rely on the thread-confinement
+invariant documented on :class:`~repro.runtime.cache.CodeCache` (one
+runtime, one run, one thread), which
+``test_runs_are_thread_confined`` exercises by running whole workloads
+concurrently.
+"""
+
+import threading
+
+from repro.evalharness.runner import run_workload
+from repro.faults import FaultRegistry
+from repro.runtime.cache import CodeCache, entry_checksum
+from repro.serve.cache import ShardedResultCache
+from repro.serve.protocol import run_fingerprint
+from repro.workloads import WORKLOADS_BY_NAME
+
+THREADS = 8
+OPS_PER_THREAD = 400
+CAPACITY = 32
+
+
+def _hammer(cache: CodeCache, thread_id: int, errors: list) -> None:
+    try:
+        for i in range(OPS_PER_THREAD):
+            key = (thread_id, i % 48)
+            found = cache.lookup(key)
+            if found.hit and found.value != f"v-{thread_id}-{i % 48}":
+                errors.append(
+                    f"thread {thread_id}: key {key} returned "
+                    f"{found.value!r}")
+            cache.insert(key, f"v-{thread_id}-{i % 48}")
+            if len(cache) > CAPACITY:
+                errors.append(
+                    f"thread {thread_id}: {len(cache)} live entries "
+                    f"exceed capacity {CAPACITY}")
+    except Exception as exc:  # noqa: BLE001 - recorded for the assert
+        errors.append(f"thread {thread_id}: {type(exc).__name__}: {exc}")
+
+
+class TestLockedCodeCacheUnderThreads:
+    def _storm(self, cache: CodeCache) -> list:
+        errors: list = []
+        threads = [
+            threading.Thread(target=_hammer, args=(cache, t, errors))
+            for t in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return errors
+
+    def test_bounded_locked_cache_stays_consistent(self):
+        cache = CodeCache(capacity=CAPACITY, checksum=entry_checksum,
+                          lock=True)
+        errors = self._storm(cache)
+        assert errors == []
+        assert len(cache) <= CAPACITY
+        assert cache.evictions > 0
+        # Every surviving entry is still readable and correct.
+        for key, value in list(cache.items()):
+            thread_id, slot = key
+            assert value == f"v-{thread_id}-{slot}"
+
+    def test_corrupt_injection_under_threads(self):
+        corrupted = []
+        cache = CodeCache(
+            capacity=CAPACITY,
+            checksum=entry_checksum,
+            faults=FaultRegistry.from_spec("cache.corrupt:every=25"),
+            on_corrupt=lambda: corrupted.append(1),
+            lock=True,
+        )
+        errors = self._storm(cache)
+        # No wrong values were ever served (corrupt hits report a miss
+        # and delete the entry) and the detections were counted.
+        assert errors == []
+        assert cache.corrupt_hits > 0
+        assert len(corrupted) == cache.corrupt_hits
+        assert len(cache) <= CAPACITY
+
+    def test_sharded_result_cache_concurrent_puts(self):
+        cache = ShardedResultCache(shards=4, capacity_per_shard=16)
+        errors: list = []
+
+        def put_many(thread_id: int) -> None:
+            try:
+                for i in range(200):
+                    cache.put(f"tenant-{thread_id}", f"key-{i}",
+                              {"status": 200,
+                               "body": {"t": thread_id, "i": i}})
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=put_many, args=(t,))
+                   for t in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = cache.stats()
+        assert stats["entries"] <= 4 * 16
+        # Reads after the storm return exactly what was written.
+        for t in range(THREADS):
+            for i in range(200):
+                value = cache.get(f"tenant-{t}", f"key-{i}")
+                if value is not None:
+                    assert value["body"] == {"t": t, "i": i}
+
+
+class TestRunThreadConfinement:
+    def test_runs_are_thread_confined(self):
+        """Whole runs on parallel threads stay byte-identical.
+
+        This is the invariant the serve executor depends on: each run
+        builds a private runtime (caches, fault registry, quarantine
+        table), so running N workloads on N threads must produce the
+        same fingerprints as running them serially.
+        """
+        names = ["binary", "dotproduct", "query", "binary"]
+        serial = {
+            name: run_fingerprint(
+                run_workload(WORKLOADS_BY_NAME[name],
+                             backend="threaded"))
+            for name in set(names)
+        }
+        results: dict[int, str] = {}
+        errors: list = []
+
+        def run_one(index: int, name: str) -> None:
+            try:
+                result = run_workload(WORKLOADS_BY_NAME[name],
+                                      backend="threaded")
+                results[index] = run_fingerprint(result)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"{name}: {type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=run_one, args=(i, name))
+                   for i, name in enumerate(names)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        for index, name in enumerate(names):
+            assert results[index] == serial[name]

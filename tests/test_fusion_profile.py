@@ -1,0 +1,112 @@
+"""Tests for the fusion-profile feedback loop (threaded -> pycodegen)."""
+
+import json
+
+import pytest
+
+from repro.evalharness.runner import run_workload
+from repro.machine import fusionprofile
+from repro.machine.fusionprofile import FusionProfile
+from repro.opt.regionshape import region_shape
+from repro.serve.protocol import run_fingerprint
+from repro.workloads import WORKLOADS_BY_NAME
+
+
+@pytest.fixture(autouse=True)
+def _clean_profile_state(monkeypatch):
+    monkeypatch.delenv(fusionprofile.ENV_PROFILE_IN, raising=False)
+    fusionprofile.reset()
+    yield
+    fusionprofile.reset()
+
+
+class TestFusionProfile:
+    def test_record_merge_and_totals(self):
+        profile = FusionProfile()
+        profile.record("f", "entry", "loop")
+        profile.record("f", "entry", "loop", 2)
+        profile.record("g", "a", "b")
+        assert profile.successors("f") == {"entry": {"loop": 3}}
+        assert profile.total_edges == 2   # distinct (src, dst) pairs
+        other = FusionProfile()
+        other.record("f", "loop", "exit", 5)
+        profile.merge(other)
+        assert profile.successors("f")["loop"] == {"exit": 5}
+
+    def test_json_round_trip(self, tmp_path):
+        profile = FusionProfile()
+        profile.record("f", "entry", "loop", 7)
+        path = tmp_path / "profile.json"
+        profile.save(str(path))
+        loaded = FusionProfile.load(str(path))
+        assert loaded.successors("f") == {"entry": {"loop": 7}}
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+
+    def test_collector_records_threaded_transfers(self):
+        collecting = fusionprofile.start_collecting()
+        try:
+            run_workload(WORKLOADS_BY_NAME["binary"],
+                         backend="threaded")
+        finally:
+            fusionprofile.stop_collecting()
+        assert collecting.total_edges > 0
+
+    def test_env_install_degrades_on_missing_file(self, monkeypatch):
+        monkeypatch.setenv(fusionprofile.ENV_PROFILE_IN,
+                           "/nonexistent/profile.json")
+        fusionprofile.reset()
+        assert fusionprofile.installed() is None
+        assert fusionprofile.successors_for("f") is None
+
+    def test_env_install_loads_profile(self, tmp_path, monkeypatch):
+        profile = FusionProfile()
+        profile.record("f", "a", "b", 3)
+        path = tmp_path / "p.json"
+        profile.save(str(path))
+        monkeypatch.setenv(fusionprofile.ENV_PROFILE_IN, str(path))
+        fusionprofile.reset()
+        assert fusionprofile.successors_for("f") == {"a": {"b": 3}}
+
+
+class TestProfileGuidedLayout:
+    def _collect(self, name):
+        collecting = fusionprofile.start_collecting()
+        try:
+            baseline = run_workload(WORKLOADS_BY_NAME[name],
+                                    backend="threaded")
+        finally:
+            fusionprofile.stop_collecting()
+        return collecting, baseline
+
+    def test_layout_changes_but_stats_do_not(self):
+        profile, baseline = self._collect("binary")
+        fusionprofile.install(profile)
+        guided = run_workload(WORKLOADS_BY_NAME["binary"],
+                              backend="pycodegen")
+        # The measured statistics are layout-independent by
+        # construction: trace order affects emitted source order only.
+        assert run_fingerprint(guided) == run_fingerprint(baseline)
+
+    def test_region_shape_orders_chains_by_heat(self):
+        from repro.frontend import compile_source
+
+        source = """
+        func pick(x) {
+            var r = 0;
+            if (x > 0) { r = 1; } else { r = 2; }
+            while (r < 10) { r = r + 3; }
+            return r;
+        }
+        func main(x) { return pick(x); }
+        """
+        module = compile_source(source)
+        fn = module.functions["pick"]
+        cold = region_shape(fn)
+        labels = list(fn.blocks)
+        # A profile claiming heavy traffic into the last block should
+        # hoist its chain ahead of colder non-entry chains.
+        hot = {label: {labels[-1]: 10**6} for label in labels}
+        shaped = region_shape(fn, hot)
+        assert shaped.order[0] == cold.order[0]  # entry chain pinned
+        assert set(shaped.order) == set(cold.order)

@@ -1,0 +1,395 @@
+"""Tests for the serve daemon: protocol, admission, cache, routing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.config import ALL_ON
+from repro.errors import (
+    HarnessError,
+    SpecializationBudgetError,
+    SpecializationError,
+    WorkerFault,
+)
+from repro.evalharness.runner import run_workload
+from repro.serve.admission import (
+    AdmissionQueue,
+    Backpressure,
+    QuotaExceeded,
+)
+from repro.serve.app import ServeApp
+from repro.serve.cache import ShardedResultCache
+from repro.serve.protocol import (
+    BadRequest,
+    build_config,
+    classify_error,
+    parse_run_request,
+    result_payload,
+    run_fingerprint,
+)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+    def test_parse_minimal_request(self):
+        req = parse_run_request({"workload": "binary"})
+        assert req.tenant == "anon"
+        assert req.workload == "binary"
+        assert req.config == ALL_ON
+        assert req.verify and not req.no_cache
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(BadRequest, match="unknown workload"):
+            parse_run_request({"workload": "nope"})
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(BadRequest):
+            parse_run_request([1, 2, 3])
+
+    def test_bad_tenant_rejected(self):
+        with pytest.raises(BadRequest, match="tenant"):
+            parse_run_request({"workload": "binary", "tenant": ""})
+        with pytest.raises(BadRequest, match="tenant"):
+            parse_run_request({"workload": "binary", "tenant": "x" * 65})
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(BadRequest, match="unknown config field"):
+            build_config({"turbo": True})
+
+    def test_config_type_checking(self):
+        with pytest.raises(BadRequest, match="boolean"):
+            build_config({"static_loads": 1})
+        with pytest.raises(BadRequest, match="integer"):
+            build_config({"quarantine_after": True})
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(BadRequest, match="unknown fault point"):
+            build_config({"faults": "not.a.point"})
+
+    def test_config_overrides_applied(self):
+        config = build_config({"static_loads": False,
+                               "quarantine_after": 7})
+        assert not config.static_loads
+        assert config.quarantine_after == 7
+
+    def test_classify_specialization_errors(self):
+        status, body = classify_error(
+            SpecializationError("boom", region_id=2, attempt=1))
+        assert status == 422
+        assert body["error"]["code"] == "specialization_error"
+        assert body["error"]["region_id"] == 2
+        status, body = classify_error(SpecializationBudgetError("over"))
+        assert status == 422
+        assert body["error"]["code"] == "specialization_budget"
+
+    def test_classify_other_errors(self):
+        assert classify_error(WorkerFault("x"))[0] == 500
+        assert classify_error(HarnessError([]))[0] == 502
+        assert classify_error(BadRequest("x"))[0] == 400
+        assert classify_error(RuntimeError("x"))[0] == 500
+
+    def test_fingerprint_matches_offline_run(self):
+        a = run_workload(_workload("binary"), backend="reference")
+        b = run_workload(_workload("binary"), backend="threaded")
+        assert run_fingerprint(a) == run_fingerprint(b)
+
+    def test_result_payload_is_json_safe(self):
+        result = run_workload(_workload("binary"))
+        payload = result_payload(result, "threaded")
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["workload"] == "binary"
+        assert round_tripped["fingerprint"] == run_fingerprint(result)
+        assert "quarantined_contexts" in round_tripped["degradation"]
+
+
+def _workload(name):
+    from repro.workloads import WORKLOADS_BY_NAME
+    return WORKLOADS_BY_NAME[name]
+
+
+# ----------------------------------------------------------------------
+# Admission queue
+# ----------------------------------------------------------------------
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_quota_rejects_hot_tenant_only(self):
+        async def go():
+            queue = AdmissionQueue(max_concurrency=1, max_queue=10,
+                                   tenant_quota=1)
+            release = asyncio.Event()
+
+            async def hold(tenant):
+                async with queue.slot(tenant):
+                    await release.wait()
+
+            task = asyncio.create_task(hold("a"))
+            await asyncio.sleep(0)
+            with pytest.raises(QuotaExceeded):
+                async with queue.slot("a"):
+                    pass
+            # Another tenant may still wait for the semaphore.
+            other = asyncio.create_task(hold("b"))
+            await asyncio.sleep(0)
+            assert queue.waiting == 1
+            release.set()
+            await asyncio.gather(task, other)
+            assert queue.rejected_quota == 1
+            assert queue.stats()["tenants_in_flight"] == {}
+
+        _run(go())
+
+    def test_backpressure_on_full_queue(self):
+        async def go():
+            queue = AdmissionQueue(max_concurrency=1, max_queue=1,
+                                   tenant_quota=100)
+            release = asyncio.Event()
+
+            async def hold(tenant):
+                async with queue.slot(tenant):
+                    await release.wait()
+
+            running = asyncio.create_task(hold("a"))
+            await asyncio.sleep(0)
+            waiting = asyncio.create_task(hold("b"))
+            await asyncio.sleep(0)
+            with pytest.raises(Backpressure):
+                async with queue.slot("c"):
+                    pass
+            release.set()
+            await asyncio.gather(running, waiting)
+            assert queue.rejected_backpressure == 1
+            assert queue.peak_waiting == 1
+
+        _run(go())
+
+
+# ----------------------------------------------------------------------
+# Sharded cache
+# ----------------------------------------------------------------------
+
+class TestShardedCache:
+    def test_miss_then_hit_and_tenant_isolation(self):
+        cache = ShardedResultCache(shards=4, capacity_per_shard=8)
+        assert cache.get("a", "key") is None
+        cache.put("a", "key", {"v": 1})
+        assert cache.get("a", "key") == {"v": 1}
+        assert cache.get("b", "key") is None   # other tenant: miss
+
+    def test_heat_survives_eviction_and_drives_tiers(self):
+        cache = ShardedResultCache(shards=1, capacity_per_shard=4)
+        assert cache.backend_for("t", "k") == "reference"
+        for _ in range(cache.tier_threaded):
+            cache.get("t", "k")
+        assert cache.backend_for("t", "k") == "threaded"
+        for _ in range(cache.tier_pycodegen):
+            cache.get("t", "k")
+        assert cache.backend_for("t", "k") == "pycodegen"
+        # Fill the single shard far past capacity; "k" may be evicted
+        # but its heat (tracked beside the shards) must persist.
+        for i in range(16):
+            cache.put("t", f"other-{i}", {"i": i})
+        assert cache.backend_for("t", "k") == "pycodegen"
+        stats = cache.stats()
+        assert stats["evictions"] > 0
+        assert stats["entries"] <= 4
+
+    def test_stats_shape(self):
+        cache = ShardedResultCache(shards=3, capacity_per_shard=8)
+        cache.put("t", "a", {})
+        cache.get("t", "a")
+        cache.get("t", "b")
+        stats = cache.stats()
+        assert len(stats["shards"]) == 3
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert 0.0 <= stats["shard_balance"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# App routing and request orchestration
+# ----------------------------------------------------------------------
+
+def _app(**kwargs) -> ServeApp:
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("cache_capacity", 16)
+    return ServeApp(**kwargs)
+
+
+def _post_run(app, body: dict):
+    return app.handle("POST", "/run",
+                      json.dumps(body).encode("utf-8"))
+
+
+class TestServeApp:
+    def test_unknown_path_and_method(self):
+        async def go():
+            app = _app()
+            try:
+                assert (await app.handle("GET", "/nope", b""))[0] == 404
+                assert (await app.handle("POST", "/stats", b""))[0] == 405
+                assert (await app.handle("GET", "/run", b""))[0] == 405
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_bad_json_is_400(self):
+        async def go():
+            app = _app()
+            try:
+                status, body = await app.handle("POST", "/run", b"{nope")
+                assert status == 400
+                assert body["error"]["code"] == "bad_request"
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_run_then_cache_hit(self):
+        async def go():
+            app = _app()
+            try:
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "t1"})
+                assert status == 200
+                assert body["backend"] == "reference"  # cold key
+                assert "cached" not in body
+                status, again = await _post_run(
+                    app, {"workload": "binary", "tenant": "t1"})
+                assert status == 200
+                assert again["cached"] is True
+                assert again["fingerprint"] == body["fingerprint"]
+                offline = run_workload(_workload("binary"))
+                assert body["fingerprint"] == run_fingerprint(offline)
+                assert app.cache_served == 1 and app.executions == 1
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_single_flight_coalesces_storm(self):
+        async def go():
+            app = _app()
+            try:
+                request = {"workload": "dotproduct", "tenant": "storm"}
+                results = await asyncio.gather(
+                    *(_post_run(app, request) for _ in range(8)))
+                assert all(status == 200 for status, _ in results)
+                fingerprints = {body["fingerprint"]
+                                for _, body in results}
+                assert len(fingerprints) == 1
+                # One leader executed; everyone else coalesced or was
+                # served from cache.
+                assert app.executions == 1
+                assert app.coalesced + app.cache_served == 7
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_serve_admit_fault_is_structured_500(self):
+        async def go():
+            app = _app(fault_spec="serve.admit:once")
+            try:
+                status, body = await _post_run(
+                    app, {"workload": "binary"})
+                assert status == 500
+                assert body["error"]["code"] == "injected_fault"
+                # The daemon survives: the next request succeeds.
+                status, _ = await _post_run(app, {"workload": "binary"})
+                assert status == 200
+                assert app.faults.summary()["serve.admit"] == (2, 1)
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_deterministic_422_is_cached(self, monkeypatch):
+        calls = []
+
+        def boom(*args, **kwargs):
+            calls.append(1)
+            raise SpecializationBudgetError("over budget", region_id=0)
+
+        async def go():
+            app = _app()
+            try:
+                monkeypatch.setattr("repro.serve.app.run_workload", boom)
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "e"})
+                assert status == 422
+                assert body["error"]["code"] == "specialization_budget"
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "e"})
+                assert status == 422
+                assert body["cached"] is True
+                assert len(calls) == 1
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_degraded_run_counts_surface(self):
+        async def go():
+            app = _app()
+            try:
+                status, body = await _post_run(app, {
+                    "workload": "binary",
+                    "tenant": "f",
+                    "config": {"faults": "specializer.entry:once"},
+                })
+                assert status == 200
+                assert body["degradation"]["respecializations"] > 0
+                health = app._healthz()
+                assert health["degraded_runs"] == 1
+                stats = app._stats()
+                assert stats["degradation"]["respecializations"] > 0
+                assert stats["tenants"]["f"]["degraded_runs"] == 1
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_quota_429(self):
+        async def go():
+            app = _app(workers=1, tenant_quota=1)
+            try:
+                slow = _post_run(app, {"workload": "chebyshev",
+                                       "tenant": "q"})
+                fast = _post_run(app, {"workload": "binary",
+                                       "tenant": "q"})
+                (s1, _), (s2, b2) = await asyncio.gather(slow, fast)
+                statuses = sorted((s1, s2))
+                assert statuses == [200, 429] or statuses == [200, 200]
+                if 429 in (s1, s2):
+                    assert app.admission.rejected_quota == 1
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_healthz_and_stats_endpoints(self):
+        async def go():
+            app = _app()
+            try:
+                status, health = await app.handle("GET", "/healthz", b"")
+                assert status == 200 and health["status"] == "ok"
+                status, stats = await app.handle("GET", "/stats", b"")
+                assert status == 200
+                assert "cache" in stats and "admission" in stats
+                status, listing = await app.handle(
+                    "GET", "/workloads", b"")
+                assert status == 200
+                assert "binary" in listing["workloads"]
+            finally:
+                app.close()
+
+        _run(go())
