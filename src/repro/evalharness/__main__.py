@@ -1,8 +1,10 @@
 """Regenerate the paper's tables: ``python -m repro.evalharness [what]``.
 
 ``what`` is one of ``table1`` … ``table5``, ``dispatch`` (the §4.4.3
-dispatch-cost measurements), ``all`` (default), or ``bench`` (wall-clock
-comparison of the execution backends, written to ``BENCH_interp.json``).
+dispatch-cost measurements), ``all`` (default), ``bench`` (wall-clock
+comparison of the execution backends, written to ``BENCH_interp.json``),
+or ``warmstart`` (cold vs warm artifact generation against the
+persistent store, written to ``BENCH_warmstart.json``).
 
 Shared flags::
 
@@ -17,6 +19,10 @@ Shared flags::
     --no-memo                        disable the content-hash result cache
     --memo-dir DIR                   cache directory (default .repro_memo,
                                      or $REPRO_MEMO_DIR)
+    --persist-dir DIR                activate the persistent artifact
+                                     store at DIR for every run (sets
+                                     REPRO_PERSIST_DIR, so --jobs pool
+                                     workers share it too)
 
 Robustness flags (exported to the environment so pool workers inherit
 them)::
@@ -28,10 +34,10 @@ them)::
     --task-timeout SECS              no-progress timeout per pool round
                                      (sets REPRO_TASK_TIMEOUT)
 
-``bench``-only flags: ``--output PATH``, ``--repeat N``, and
-``--compare`` (diff the committed report at ``--output`` against a
-fresh run instead of overwriting it; exits non-zero on semantic
-divergence).
+``bench``/``warmstart`` flags: ``--output PATH``, ``--repeat N``
+(bench only), and ``--compare`` (diff the committed report at
+``--output`` against a fresh run instead of overwriting it; exits
+non-zero on semantic divergence).
 
 Fusion-profile feedback (see :mod:`repro.machine.fusionprofile`)::
 
@@ -74,7 +80,7 @@ from repro.machine import BACKENDS, CODEGEN_MODES
 from repro.workloads import APPLICATIONS
 
 TARGETS = ("table1", "table2", "table3", "table4", "table5",
-           "dispatch", "all", "bench")
+           "dispatch", "all", "bench", "warmstart")
 
 
 def _emit(table: Table) -> None:
@@ -129,6 +135,10 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--memo-dir", default=None, metavar="DIR",
                         help="result-cache directory (default: "
                              "$REPRO_MEMO_DIR or .repro_memo)")
+    parser.add_argument("--persist-dir", default=None, metavar="DIR",
+                        help="activate the persistent artifact store at "
+                             "DIR (sets $REPRO_PERSIST_DIR for workers "
+                             "too)")
     parser.add_argument("--faults", default=None, metavar="SPEC",
                         help="fault-injection spec, e.g. "
                              "'cache.corrupt:once;worker.crash' "
@@ -199,6 +209,58 @@ def _bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warmstart(args: argparse.Namespace) -> int:
+    from repro.evalharness.warmstart import (
+        DEFAULT_WARMSTART_PATH,
+        compare_warmstart,
+        load_warmstart,
+        run_warmstart,
+        write_warmstart,
+    )
+    output = args.output
+    if output == DEFAULT_BENCH_PATH:
+        output = DEFAULT_WARMSTART_PATH
+    report = run_warmstart(backend=args.backend)
+    if args.compare:
+        try:
+            committed = load_warmstart(output)
+        except (OSError, ValueError) as err:
+            print(f"cannot load committed report {output}: {err}",
+                  file=sys.stderr)
+            return 1
+        lines, ok = compare_warmstart(committed, report)
+        for line in lines:
+            print(line)
+        if not ok:
+            print("ERROR: committed warm-start report disagrees with "
+                  "the fresh run", file=sys.stderr)
+            return 1
+        return 0
+    write_warmstart(report, output)
+    for name, entry in report["workloads"].items():
+        print(f"{name:12s} cold={entry['cold_work_seconds']:.4f}s "
+              f"warm={entry['warm_work_seconds']:.4f}s "
+              f"ratio={entry['warm_ratio']:.4f} "
+              f"match={entry['checksums_match']}")
+    totals = report["totals"]
+    print(f"total cold={totals['cold_work_seconds']:.4f}s "
+          f"warm={totals['warm_work_seconds']:.4f}s "
+          f"ratio={totals['warm_ratio']:.4f}")
+    print(f"report written to {output}")
+    if not report["checksums_match"]:
+        print("ERROR: warm run statistics/results diverged from cold "
+              "run", file=sys.stderr)
+        return 1
+    if not report["warm_within_limit"]:
+        print("ERROR: warm-start overhead exceeds "
+              f"{report['warm_ratio_limit']:.0%} of cold",
+              file=sys.stderr)
+        return 1
+    print("warm runs byte-identical to cold and within the overhead "
+          "limit")
+    return 0
+
+
 def _export_robustness_env(args: argparse.Namespace) -> None:
     """Publish robustness flags as environment variables.
 
@@ -217,6 +279,12 @@ def _export_robustness_env(args: argparse.Namespace) -> None:
         os.environ["REPRO_TASK_TIMEOUT"] = str(args.task_timeout)
     if args.codegen_mode is not None:
         os.environ["REPRO_CODEGEN_MODE"] = args.codegen_mode
+    if args.persist_dir is not None:
+        from repro.runtime import persist
+        os.environ[persist.ENV_PERSIST_DIR] = args.persist_dir
+        # The parent process may already have resolved (and cached) "no
+        # store" — re-resolve so its own runs honor the flag too.
+        persist.reset()
 
 
 def _arm_fusion_profile(args: argparse.Namespace):
@@ -253,6 +321,10 @@ def main(argv: list[str]) -> int:
 
     if args.what == "bench":
         code = _bench(args)
+        _save_fusion_profile(args, collecting)
+        return code
+    if args.what == "warmstart":
+        code = _warmstart(args)
         _save_fusion_profile(args, collecting)
         return code
 

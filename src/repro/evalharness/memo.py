@@ -38,13 +38,14 @@ from repro.ir import Memory
 from repro.machine.costs import CostModel
 from repro.machine.pycodegen import resolve_source_limit
 from repro.machine.threaded import resolve_fusion_threshold
+from repro.runtime import persist
 from repro.runtime.overhead import OverheadModel
 from repro.workloads import WORKLOADS_BY_NAME
 from repro.workloads.base import Workload
 
 #: Bump when the RunResult layout or the fingerprint recipe changes;
 #: stale entries from older schemas simply never match.
-_SCHEMA = 4
+_SCHEMA = 5
 
 #: Default cache directory (relative to the current working directory)
 #: when none is given explicitly or via ``REPRO_MEMO_DIR``.
@@ -125,6 +126,13 @@ def memo_key(workload: Workload,
     # Backend-affecting environment knobs (same rationale: they change
     # run behavior but are invisible to ``asdict(config)``).
     feed(("resolved_env", backend_env_fingerprint()))
+    # Persistent-store state: schema version and whether a store is
+    # active.  Artifact records are themselves keyed on this memo key
+    # plus the persist schema, so a snapshot from an older persist
+    # layout (or a run that flipped persistence on/off) can never serve
+    # a stale memoized result.
+    feed(("persist", (persist.PERSIST_SCHEMA,
+                      persist.active_store() is not None)))
     feed(sorted(dataclasses.asdict(cost_model).items()))
     feed(sorted(dataclasses.asdict(overhead).items()))
     feed(verify)

@@ -21,6 +21,7 @@ from repro.frontend import compile_source
 from repro.ir import Memory, Module
 from repro.machine import ALPHA_21164, ICacheModel, Machine
 from repro.machine.costs import CostModel
+from repro.runtime import persist
 from repro.runtime.overhead import DEFAULT_OVERHEAD, OverheadModel
 from repro.runtime.stats import RegionStats
 from repro.workloads.base import Workload
@@ -210,6 +211,7 @@ def run_workload(workload: Workload,
             raise
         memo.put(key, result)
         return result
+    canonical_module = module is None
     if module is None:
         module = compile_source(workload.source)
     tracked = frozenset(workload.region_functions)
@@ -233,6 +235,17 @@ def run_workload(workload: Workload,
         memory=dynamic_memory, tracked=tracked, overhead=overhead,
         **_machine_kwargs(workload, cost_model, backend, codegen_mode),
     )
+    persist_store = persist.active_store()
+    if persist_store is not None and canonical_module \
+            and persist.run_eligible(config):
+        # Route entry/continuation specialization through the
+        # cross-process store, keyed like the memo cache keys runs (the
+        # import is lazy only to keep runner import-light).
+        from repro.evalharness.memo import memo_key
+        persist.bind_runtime(
+            runtime, persist_store,
+            memo_key(workload, config, cost_model, overhead, verify),
+        )
     dynamic_result = dynamic_machine.run(workload.entry,
                                          *dynamic_input.args)
 

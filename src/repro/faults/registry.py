@@ -55,6 +55,10 @@ FAULT_POINTS: dict[str, str] = {
         "the threaded backend fails to translate a function",
     "serve.admit":
         "the serve daemon fails an admitted request before execution",
+    "persist.load":
+        "a persisted artifact fails integrity verification on load",
+    "persist.store":
+        "a persisted artifact write is dropped before reaching disk",
     "worker.crash":
         "a pool worker dies with os._exit (BrokenProcessPool)",
     "worker.error":

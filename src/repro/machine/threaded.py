@@ -72,6 +72,7 @@ from repro.ir.instructions import (
 )
 from repro.machine import fusionprofile
 from repro.machine.costs import binop_terms, flat_term, move_terms
+from repro.runtime import persist
 
 # ----------------------------------------------------------------------
 # Per-operator evaluators
@@ -249,13 +250,51 @@ class ThreadedBackend:
                     f"injected fault translating {fn.name!r} "
                     f"(version {fn.version})"
                 )
-        entry = self._translate(fn, penalty, scale)
+        fuse = False
+        if self.fusion_threshold:
+            store = persist.active_store()
+            if store is not None \
+                    and fusionprofile.collector() is None \
+                    and store.get(
+                        "fusion",
+                        self._fusion_digest(fn, penalty, scale),
+                        faults=self._persist_faults(),
+                    ) is not None:
+                # A previous process proved this translation hot enough
+                # to fuse: skip the re-warm and fuse eagerly.  Fused
+                # steps compose the originals, so this is
+                # stats-identical either way — a wrong (weak-key) hit
+                # costs only a needless eager fusion.
+                fuse = True
+        entry = self._translate(fn, penalty, scale, fuse=fuse)
         self._cache[id(fn)] = entry
         return entry
 
     def invalidate(self, fn: Function) -> None:
         """Drop any cached translation of ``fn`` (tests / tooling)."""
         self._cache.pop(id(fn), None)
+
+    def _persist_faults(self):
+        runtime = self.machine.runtime
+        return getattr(runtime, "faults", None) \
+            if runtime is not None else None
+
+    def _fusion_digest(self, fn: Function, penalty: float,
+                       scale: float) -> str:
+        """Deliberately *weak* content key for a fusion decision.
+
+        Hashing the full block list on every fresh translation (regions
+        retranslate after every version bump) would cost more than
+        fusion saves, so the key is a cheap shape summary.  That is safe
+        precisely because fusion preserves stats and semantics — unlike
+        the entry/cont/pycodegen kinds, a stale hit cannot corrupt a
+        run, only fuse something lukewarm.
+        """
+        return persist.digest(
+            "fusion", persist.PERSIST_SCHEMA, fn.name, fn.version,
+            fn.entry, fn.instruction_count(), len(fn.blocks), penalty,
+            scale, self.fusion_threshold,
+        )
 
     def _quicken(self, fn: Function, trans: _Translation) -> _Translation:
         """Retranslate a hot function with superinstruction fusion.
@@ -269,6 +308,13 @@ class ThreadedBackend:
         entry.entries = trans.entries
         self._cache[id(fn)] = entry
         self.quickened_functions += 1
+        store = persist.active_store()
+        if store is not None and fusionprofile.collector() is None:
+            store.put(
+                "fusion",
+                self._fusion_digest(fn, trans.penalty, trans.scale),
+                True, faults=self._persist_faults(),
+            )
         return entry
 
     def _fusion_fuel(self, trans: _Translation) -> int | None:

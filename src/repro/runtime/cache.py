@@ -150,6 +150,7 @@ class CodeCache:
         self.total_lookups = 0
         self.evictions = 0
         self.corrupt_hits = 0
+        self.compactions = 0
 
     def __len__(self) -> int:
         guard = self._lock
@@ -270,6 +271,28 @@ class CodeCache:
                 return True
         return False
 
+    def delete(self, key: tuple) -> bool:
+        """Delete ``key`` if present; returns whether it was found.
+
+        Used by the persistent store's front cache to drop an entry whose
+        backing record failed integrity verification.
+        """
+        guard = self._lock
+        if guard is None:
+            return self._delete_key(key)
+        with guard:
+            return self._delete_key(key)
+
+    def _delete_key(self, key: tuple) -> bool:
+        for index in self._probe_sequence(key):
+            slot_key = self._keys[index]
+            if slot_key is _EMPTY:
+                return False
+            if slot_key is not _TOMBSTONE and slot_key == key:
+                self._delete(index)
+                return True
+        return False
+
     def _delete(self, index: int) -> None:
         self._keys[index] = _TOMBSTONE
         self._values[index] = None
@@ -277,6 +300,15 @@ class CodeCache:
             self._stamps[index] = 0
         self._ref[index] = False
         self._count -= 1
+        # Tombstone compaction: heavy eviction/deletion churn would
+        # otherwise degrade probe chains permanently (every probe walks
+        # the accumulated tombstones).  Rehash in place once tombstones
+        # outnumber half the table.  A clean unbounded cache never
+        # deletes, so it never compacts and its probe accounting stays
+        # byte-identical to the original unbounded implementation.
+        if self._fill - self._count > self._size // 2:
+            self._grow()
+            self.compactions += 1
 
     def _evict_one(self) -> None:
         """Clock/second-chance: evict the first un-referenced live entry."""

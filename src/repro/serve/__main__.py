@@ -15,6 +15,12 @@ Flags::
     --faults SPEC           arm server-side fault points (serve.admit,
                             cache.corrupt, cache.evict); combined with
                             $REPRO_FAULTS
+    --persist-dir DIR       activate the persistent artifact store at
+                            DIR (default with --snapshot:
+                            $REPRO_PERSIST_DIR or .repro_persist)
+    --snapshot PATH         warm-start: unpack the snapshot at PATH into
+                            the store before accepting traffic (a bad
+                            snapshot is skipped; the daemon starts cold)
 
 The daemon prints one ``serving on http://host:port`` line to stderr
 once the socket is bound, so supervisors (and the CI smoke job) can
@@ -72,6 +78,12 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--faults", default=None, metavar="SPEC",
                         help="server-side fault spec (e.g. "
                              "'serve.admit:every=50')")
+    parser.add_argument("--persist-dir", default=None, metavar="DIR",
+                        help="activate the persistent artifact store "
+                             "at DIR")
+    parser.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="warm-start from the snapshot at PATH "
+                             "before accepting traffic")
     return parser.parse_args(argv)
 
 
@@ -88,11 +100,25 @@ def build_app(args: argparse.Namespace) -> ServeApp:
         max_queue=args.max_queue,
         tenant_quota=args.tenant_quota,
         fault_spec=fault_spec or None,
+        persist_dir=args.persist_dir,
+        snapshot_path=args.snapshot,
     )
 
 
 async def _amain(args: argparse.Namespace) -> int:
     app = build_app(args)
+    if app.snapshot_path:
+        if app.snapshot["error"]:
+            print(f"snapshot {app.snapshot_path} ignored "
+                  f"({app.snapshot['error']}); starting cold",
+                  file=sys.stderr, flush=True)
+        else:
+            skipped = (f", {app.snapshot['skipped']} invalid "
+                       "record(s) skipped"
+                       if app.snapshot["skipped"] else "")
+            print(f"warm start: {app.snapshot['loaded']} record(s) "
+                  f"from {app.snapshot_path} into {app.persist_dir}"
+                  f"{skipped}", file=sys.stderr, flush=True)
     daemon = ServeDaemon(app, host=args.host, port=args.port)
     await daemon.start()
     print(f"serving on http://{args.host}:{daemon.port} "

@@ -43,6 +43,7 @@ from repro.evalharness.memo import memo_key
 from repro.evalharness.runner import run_workload
 from repro.faults import FaultRegistry
 from repro.machine.costs import ALPHA_21164
+from repro.runtime import persist
 from repro.runtime.overhead import DEFAULT_OVERHEAD
 from repro.serve.admission import (
     AdmissionQueue,
@@ -87,11 +88,31 @@ class ServeApp:
                  workers: int | None = None,
                  max_queue: int = DEFAULT_MAX_QUEUE,
                  tenant_quota: int = DEFAULT_TENANT_QUOTA,
-                 fault_spec: str | None = None):
+                 fault_spec: str | None = None,
+                 persist_dir: str | None = None,
+                 snapshot_path: str | None = None):
         import os
         if workers is None:
             workers = min(8, os.cpu_count() or 2)
         self.started = time.time()
+        # Cross-process artifact persistence: activate the store (and
+        # unpack a warm-start snapshot into it) before any request can
+        # arrive.  A bad snapshot is skipped — the daemon starts cold
+        # rather than refusing to start or executing stale artifacts.
+        self.persist_dir = None
+        self.snapshot_path = snapshot_path
+        self.snapshot = {"loaded": 0, "skipped": 0, "error": None}
+        if persist_dir or snapshot_path:
+            self.persist_dir = persist.resolve_persist_dir(persist_dir)
+            persist.activate(self.persist_dir)
+            if snapshot_path:
+                outcome = persist.load_snapshot(snapshot_path,
+                                                self.persist_dir)
+                if outcome.ok:
+                    self.snapshot["loaded"] = outcome.loaded
+                    self.snapshot["skipped"] = outcome.skipped
+                else:
+                    self.snapshot["error"] = outcome.error
         self.fault_spec = fault_spec or ""
         self.faults = FaultRegistry.from_spec(self.fault_spec)
         self.cache = ShardedResultCache(
@@ -298,6 +319,14 @@ class ServeApp:
                 self.degradation["quarantined_contexts"],
         }
 
+    def _persist_stats(self) -> dict | None:
+        store = persist.active_store()
+        if store is None:
+            return None
+        return dict(store.stats(),
+                    snapshot_path=self.snapshot_path,
+                    snapshot=dict(self.snapshot))
+
     def _stats(self) -> dict:
         return {
             "server": {
@@ -317,6 +346,7 @@ class ServeApp:
                 },
             },
             "cache": self.cache.stats(),
+            "persist": self._persist_stats(),
             "admission": self.admission.stats(),
             "degradation": dict(self.degradation),
             "degraded_runs": self.degraded_runs,

@@ -24,6 +24,8 @@ from repro.machine.pycodegen import (
     EAGER_FOOTPRINT,
     CompileFault,
     PyCodegenBackend,
+    reset_source_limit_cache,
+    resolve_source_limit,
 )
 from repro.runtime.fallback import BACKEND_LADDER
 from repro.workloads import ALL_WORKLOADS, WORKLOADS_BY_NAME
@@ -32,6 +34,15 @@ from tests.test_threaded_backend import _run_under, _stats_dict
 
 #: Every workload small enough for the full-corpus identity sweep.
 CORPUS = [w.name for w in ALL_WORKLOADS]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_source_limit_cache():
+    """The source limit resolves once per process; tests that flip
+    ``REPRO_PYCODEGEN_SOURCE_LIMIT`` need the memo dropped around them."""
+    reset_source_limit_cache()
+    yield
+    reset_source_limit_cache()
 
 
 class TestCountedByteIdentity:
@@ -233,6 +244,34 @@ class TestDegradationLadder:
         assert backend.oversize_refusals >= 1
         with pytest.raises(CompileFault):
             backend._compile(mod.functions["f"], 0.0, 1.0, False)
+
+
+class TestSourceLimitResolution:
+    def test_resolves_once_per_process(self, monkeypatch):
+        """The env knob is read exactly once; later changes are invisible
+        until the test hook drops the memo."""
+        monkeypatch.delenv("REPRO_PYCODEGEN_SOURCE_LIMIT",
+                           raising=False)
+        reset_source_limit_cache()
+        from repro.machine.pycodegen import DEFAULT_SOURCE_LIMIT
+        assert resolve_source_limit() == DEFAULT_SOURCE_LIMIT
+        monkeypatch.setenv("REPRO_PYCODEGEN_SOURCE_LIMIT", "123")
+        assert resolve_source_limit() == DEFAULT_SOURCE_LIMIT
+        reset_source_limit_cache()
+        assert resolve_source_limit() == 123
+
+    def test_caller_default_bypasses_memo(self, monkeypatch):
+        """A non-default fallback must not read from — or poison — the
+        process-wide memo."""
+        monkeypatch.delenv("REPRO_PYCODEGEN_SOURCE_LIMIT",
+                           raising=False)
+        reset_source_limit_cache()
+        assert resolve_source_limit(500) == 500
+        monkeypatch.setenv("REPRO_PYCODEGEN_SOURCE_LIMIT", "77")
+        assert resolve_source_limit(500) == 77
+        monkeypatch.delenv("REPRO_PYCODEGEN_SOURCE_LIMIT")
+        from repro.machine.pycodegen import DEFAULT_SOURCE_LIMIT
+        assert resolve_source_limit() == DEFAULT_SOURCE_LIMIT
 
 
 class TestTieredCompilation:

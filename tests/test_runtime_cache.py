@@ -141,6 +141,60 @@ class TestCodeCache:
         assert len(cache) == len(model)
 
 
+class TestTombstoneCompaction:
+    def test_churn_triggers_compaction(self):
+        """Sustained delete/reinsert churn must rehash in place once
+        tombstones dominate, instead of growing the table forever."""
+        cache = CodeCache()
+        for round_number in range(40):
+            keys = [(round_number, i) for i in range(160)]
+            for key in keys:
+                cache.insert(key, key)
+            for key in keys:
+                assert cache.delete(key)
+        assert cache.compactions > 0
+        assert len(cache) == 0
+        # The table stayed usable and bounded by the live set, not by
+        # the total insert history.
+        cache.insert((999,), "live")
+        assert cache.lookup((999,)).hit
+        assert cache._size < 4096
+
+    def test_compaction_preserves_live_entries(self):
+        cache = CodeCache()
+        live = {(i,): f"v{i}" for i in range(16)}
+        for key, value in live.items():
+            cache.insert(key, value)
+        churn = [("churn", i) for i in range(300)]
+        for key in churn:
+            cache.insert(key, "churn")
+        for key in churn:
+            assert cache.delete(key)
+        assert cache.compactions > 0
+        for key, value in live.items():
+            result = cache.lookup(key)
+            assert result.hit and result.value == value
+
+    def test_delete_unknown_key_is_false(self):
+        cache = CodeCache()
+        cache.insert((1,), "a")
+        assert not cache.delete((2,))
+        assert cache.delete((1,))
+        assert not cache.delete((1,))
+        assert not cache.lookup((1,)).hit
+
+    def test_clean_cache_never_compacts(self):
+        """A cache that never deletes must keep its exact pre-change
+        probe accounting: no tombstones, no compaction."""
+        cache = CodeCache()
+        for i in range(512):
+            cache.insert((i,), i)
+        for i in range(512):
+            assert cache.lookup((i,)).hit
+        assert cache.compactions == 0
+        assert cache._fill == cache._count
+
+
 class TestBoundedCache:
     def test_capacity_bounds_live_entries(self):
         cache = CodeCache(capacity=4)
