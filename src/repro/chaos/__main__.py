@@ -1,0 +1,10 @@
+"""``python -m repro.chaos`` — run the seeded chaos harness."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.chaos.orchestrator import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

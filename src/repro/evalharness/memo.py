@@ -44,8 +44,10 @@ from repro.workloads import WORKLOADS_BY_NAME
 from repro.workloads.base import Workload
 
 #: Bump when the RunResult layout or the fingerprint recipe changes;
-#: stale entries from older schemas simply never match.
-_SCHEMA = 5
+#: stale entries from older schemas simply never match.  Schema 6 keys
+#: the serve tier's resilience knobs (circuit-breaker threshold and
+#: cooldown, supervised worker count) into the environment fingerprint.
+_SCHEMA = 6
 
 #: Default cache directory (relative to the current working directory)
 #: when none is given explicitly or via ``REPRO_MEMO_DIR``.
@@ -89,10 +91,24 @@ def backend_env_fingerprint() -> tuple:
     keep this module import-light.
     """
     from repro.evalharness.parallel import resolve_task_timeout
+    from repro.serve.knobs import (
+        resolve_breaker_cooldown,
+        resolve_breaker_threshold,
+        resolve_serve_procs,
+    )
     return (
         resolve_fusion_threshold(),
         resolve_source_limit(),
         resolve_task_timeout(),
+        # Serve-tier resilience knobs.  They do not change run *bytes*,
+        # but results computed and persisted by a supervised fleet are
+        # replayed across worker recycles; keying the knobs makes a
+        # fleet reconfiguration (different breaker policy or worker
+        # count) start from a fresh key space instead of mixing
+        # artifacts produced under different supervision regimes.
+        resolve_breaker_threshold(),
+        resolve_breaker_cooldown(),
+        resolve_serve_procs(),
     )
 
 

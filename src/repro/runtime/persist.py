@@ -33,11 +33,15 @@ Integrity reuses the PR 3 machinery: every record carries a sha256 over
 its payload (plus schema and key echo), the in-process front cache is a
 checksummed :class:`~repro.runtime.cache.CodeCache`, and a corrupt or
 schema-mismatched record is **deleted and treated as a miss, never
-executed**.  Writes are atomic (``mkstemp`` + ``os.replace``) so the
-``--jobs`` pool can share one store: workers read concurrently and
-write-back racers simply last-write-win a byte-identical record.  Two
-fault points, ``persist.load`` and ``persist.store``, inject load-side
-corruption drops and lost writes deterministically.
+executed**.  Writes are crash-consistent (``mkstemp`` + payload fsync +
+``os.replace`` + directory fsync — see :func:`atomic_install`) so the
+``--jobs`` pool can share one store, a racing daemon can be SIGKILLed
+mid-``store``, and the survivor always reads whole records: racers
+simply last-write-win a byte-identical record and a killed writer
+leaves at worst an ignorable ``.tmp`` file.  Three fault points —
+``persist.load``, ``persist.store``, and ``persist.fsync`` — inject
+load-side corruption drops, lost writes, and failed fsync barriers
+deterministically.
 
 A *snapshot* is a single-file capture of a warmed store
 (``python -m repro.workloads snapshot save/load``) used by CI and by the
@@ -77,7 +81,7 @@ _FRONT_CAPACITY = 256
 #: The only fault points that may be armed while run-level artifacts
 #: (entry/cont) are persisted: they exercise the store itself without
 #: perturbing the specializer, so replay stays deterministic.
-_PERSIST_POINTS = ("persist.load", "persist.store")
+_PERSIST_POINTS = ("persist.load", "persist.store", "persist.fsync")
 
 #: Scalar RegionStats counters, snapshot/restored absolutely on replay
 #: (dict-shaped fields are handled separately — see _BatchCapture).
@@ -124,6 +128,106 @@ class _FrontEntry:
 
     def cache_identity(self) -> tuple:
         return (self.kind, self.digest, len(self.payload))
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush the directory entry of a just-renamed record (best effort:
+    a filesystem that cannot fsync directories still gets the rename)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class _FsyncFault(OSError):
+    """Injected ``persist.fsync`` failure (drops the write)."""
+
+
+def atomic_install(directory: str, final_path: str, raw: bytes,
+                   prefix: str, faults=None) -> bool:
+    """Crash-consistent write: tmp file + fsync + rename + dir fsync.
+
+    The durability contract the chaos harness kills writers against:
+    a reader (even one opening the directory cold after a SIGKILL
+    mid-write) sees either the complete old record, the complete new
+    record, or no record — never a torn one.  The payload is fsynced
+    *before* the rename so a crash between rename and data reaching
+    disk cannot publish a name pointing at garbage, and the directory
+    is fsynced after so the rename itself is durable.  A failed (or
+    ``persist.fsync``-injected) fsync drops the whole write: the tmp
+    file is unlinked and the caller reports a store skip.
+    """
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(prefix=prefix, suffix=".tmp",
+                                        dir=directory)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(raw)
+                handle.flush()
+                if faults is not None \
+                        and faults.enabled("persist.fsync") \
+                        and faults.should_fire("persist.fsync"):
+                    raise _FsyncFault("injected fsync failure")
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, final_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False
+    _fsync_directory(directory)
+    return True
+
+
+def verify_store(directory: str) -> dict:
+    """Read-only integrity scan of a store directory.
+
+    Decodes and checksums every ``.rec`` file the way a cold reader
+    would; the chaos harness calls this after every injected crash to
+    prove no torn or corrupt record survived a kill.  Leftover ``.tmp``
+    files are reported but are *not* a violation — an interrupted
+    writer may leave one behind; readers never open them.
+    """
+    counts = {"records": 0, "ok": 0, "corrupt": 0,
+              "schema": 0, "tmp_files": 0}
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return counts
+    for name in names:
+        if name.endswith(".tmp"):
+            counts["tmp_files"] += 1
+            continue
+        if not name.endswith(".rec"):
+            continue
+        counts["records"] += 1
+        kind, _, rest = name.partition("-")
+        digest_ = rest[:-len(".rec")]
+        try:
+            with open(os.path.join(directory, name), "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            counts["corrupt"] += 1
+            continue
+        status, _record = _check_record(raw, kind or None,
+                                        digest_ or None)
+        if status == "ok":
+            counts["ok"] += 1
+        elif status == "schema":
+            counts["schema"] += 1
+        else:
+            counts["corrupt"] += 1
+    return counts
 
 
 def _check_record(raw: bytes, kind: str | None = None,
@@ -317,22 +421,9 @@ class PersistStore:
             "sha256": hashlib.sha256(payload).hexdigest(),
         }
         raw = pickle.dumps(record)
-        try:
-            os.makedirs(self.directory, exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(
-                prefix=f".{kind}-", suffix=".tmp", dir=self.directory
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(raw)
-                os.replace(tmp_path, self._path(kind, digest_))
-            except BaseException:
-                try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
-                raise
-        except OSError:
+        if not atomic_install(self.directory,
+                              self._path(kind, digest_), raw,
+                              prefix=f".{kind}-", faults=registry):
             self._bump("store_skips")
             return False
         self._front.insert((kind, digest_),
@@ -392,22 +483,8 @@ def save_snapshot(store_dir: str, path: str) -> SnapshotResult:
     }
     raw = pickle.dumps(payload)
     directory = os.path.dirname(os.path.abspath(path)) or "."
-    try:
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(prefix=".snapshot-",
-                                        suffix=".tmp", dir=directory)
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(raw)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
-    except OSError as exc:
-        return SnapshotResult(False, error=f"snapshot write failed: {exc}")
+    if not atomic_install(directory, path, raw, prefix=".snapshot-"):
+        return SnapshotResult(False, error="snapshot write failed")
     return SnapshotResult(True, loaded=count)
 
 
@@ -455,22 +532,8 @@ def load_snapshot(path: str, store_dir: str) -> SnapshotResult:
         if status != "ok":
             skipped += 1
             continue
-        try:
-            os.makedirs(store_dir, exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(prefix=f".{kind}-",
-                                            suffix=".tmp", dir=store_dir)
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(data)
-                os.replace(tmp_path,
-                           os.path.join(store_dir, name))
-            except BaseException:
-                try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
-                raise
-        except OSError:
+        if not atomic_install(store_dir, os.path.join(store_dir, name),
+                              data, prefix=f".{kind}-"):
             skipped += 1
             continue
         loaded += 1

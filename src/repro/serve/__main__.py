@@ -13,8 +13,16 @@ Flags::
     --tenant-quota N        per-tenant in-flight limit before 429s
                             (default 128)
     --faults SPEC           arm server-side fault points (serve.admit,
+                            serve.respond, serve.worker_heartbeat,
                             cache.corrupt, cache.evict); combined with
                             $REPRO_FAULTS
+    --breaker-threshold N   consecutive 5xx outcomes that trip a
+                            per-(tenant, workload) circuit breaker
+                            (default $REPRO_BREAKER_THRESHOLD or 5;
+                            0 disables)
+    --breaker-cooldown S    open-breaker cooldown before the half-open
+                            probe (default $REPRO_BREAKER_COOLDOWN
+                            or 1.0)
     --persist-dir DIR       activate the persistent artifact store at
                             DIR (default with --snapshot:
                             $REPRO_PERSIST_DIR or .repro_persist)
@@ -84,6 +92,15 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--snapshot", default=None, metavar="PATH",
                         help="warm-start from the snapshot at PATH "
                              "before accepting traffic")
+    parser.add_argument("--breaker-threshold", type=int, default=None,
+                        help="consecutive 5xx outcomes that trip a "
+                             "per-(tenant, workload) circuit breaker "
+                             "(default $REPRO_BREAKER_THRESHOLD or 5; "
+                             "0 disables)")
+    parser.add_argument("--breaker-cooldown", type=float, default=None,
+                        help="seconds an open breaker waits before a "
+                             "half-open probe (default "
+                             "$REPRO_BREAKER_COOLDOWN or 1.0)")
     return parser.parse_args(argv)
 
 
@@ -102,6 +119,8 @@ def build_app(args: argparse.Namespace) -> ServeApp:
         fault_spec=fault_spec or None,
         persist_dir=args.persist_dir,
         snapshot_path=args.snapshot,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
 
 

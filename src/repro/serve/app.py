@@ -4,29 +4,36 @@ Request lifecycle for ``POST /run``:
 
 1. **Parse/validate** on the event loop (:mod:`repro.serve.protocol`);
    structural problems never reach a worker thread.
-2. **Admission fault point** — ``serve.admit`` (armed via the daemon's
+2. **Cache lookup** in the sharded result cache (bumping the key's
+   heat).  Deterministic outcomes are cached: successful runs *and*
+   deterministic specialization failures (422s), mirroring the offline
+   memoizer's error memoization.  Cache hits bypass the circuit
+   breaker — serving known-good bytes is always safe.
+3. **Circuit breaker** (:mod:`repro.serve.breaker`) — a per-(tenant,
+   workload) breaker that has seen ``REPRO_BREAKER_THRESHOLD``
+   consecutive 5xx outcomes rejects the miss with a ``circuit_open``
+   503 (plus ``Retry-After``) until its cooldown admits a half-open
+   probe.  Every non-cached outcome settles the breaker.
+4. **Admission fault point** — ``serve.admit`` (armed via the daemon's
    ``--faults`` flag or ``REPRO_FAULTS``) can deterministically fail
    the request here, producing a structured 500.  This is the serve
    tier's own rung on the fault-injection ladder: it proves the daemon
-   converts internal failures into responses instead of dying.
-3. **Cache lookup** in the sharded result cache (bumping the key's
-   heat).  Deterministic outcomes are cached: successful runs *and*
-   deterministic specialization failures (422s), mirroring the offline
-   memoizer's error memoization.
-4. **Single-flight** — concurrent misses on the same (tenant, key)
+   converts internal failures into responses instead of dying — and it
+   feeds the breaker like any organic 5xx.
+5. **Single-flight** — concurrent misses on the same (tenant, key)
    coalesce onto one execution; followers await the leader's future
    (a promotion storm of N identical requests costs one run).
-5. **Admission queue** (:mod:`repro.serve.admission`): backpressure
+6. **Admission queue** (:mod:`repro.serve.admission`): backpressure
    503s, per-tenant quota 429s, then a semaphore sized to the worker
    pool.
-6. **Tiered execution** — the key's heat picks the backend
+7. **Tiered execution** — the key's heat picks the backend
    (reference → threaded → pycodegen); the run executes on a thread
    pool via ``run_in_executor``.  Runs are thread-safe because every
    run builds a fresh runtime/machine stack (the thread-confinement
    invariant documented on :class:`~repro.runtime.cache.CodeCache`);
    per-request fault specs travel in ``OptConfig.faults``, never via
    the (shared) process environment.
-7. **Degradation accounting** — ladder counters from the run's region
+8. **Degradation accounting** — ladder counters from the run's region
    stats are aggregated into daemon-wide and per-tenant totals,
    surfaced on ``/stats`` and ``/healthz``.
 """
@@ -45,11 +52,13 @@ from repro.faults import FaultRegistry
 from repro.machine.costs import ALPHA_21164
 from repro.runtime import persist
 from repro.runtime.overhead import DEFAULT_OVERHEAD
+from repro.serve import knobs
 from repro.serve.admission import (
     AdmissionQueue,
     Backpressure,
     QuotaExceeded,
 )
+from repro.serve.breaker import BreakerBoard
 from repro.serve.cache import ShardedResultCache
 from repro.serve.protocol import (
     BadRequest,
@@ -90,7 +99,9 @@ class ServeApp:
                  tenant_quota: int = DEFAULT_TENANT_QUOTA,
                  fault_spec: str | None = None,
                  persist_dir: str | None = None,
-                 snapshot_path: str | None = None):
+                 snapshot_path: str | None = None,
+                 breaker_threshold: int | None = None,
+                 breaker_cooldown: float | None = None):
         import os
         if workers is None:
             workers = min(8, os.cpu_count() or 2)
@@ -128,7 +139,13 @@ class ServeApp:
         self.executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve",
         )
+        self.breakers = BreakerBoard(threshold=breaker_threshold,
+                                     cooldown=breaker_cooldown)
         self._inflight: dict[tuple[str, str], asyncio.Future] = {}
+        #: Set while a SIGTERM drain is in progress: keep-alive turns
+        #: off (clients reconnect elsewhere) and /healthz reports it.
+        self.draining = False
+        self.respond_drops = 0
         # /stats counters (event-loop thread only).
         self.requests_total = 0
         self.status_counts: dict[str, int] = {}
@@ -193,9 +210,35 @@ class ServeApp:
             return 429, error_body("quota_exceeded", str(exc),
                                    tenant=exc.tenant,
                                    in_flight=exc.in_flight,
-                                   quota=exc.quota)
+                                   quota=exc.quota,
+                                   retry_after=1)
         return 503, error_body("backpressure", str(exc),
-                               queued=exc.queued, limit=exc.limit)
+                               queued=exc.queued, limit=exc.limit,
+                               retry_after=1)
+
+    def drop_response(self) -> bool:
+        """``serve.respond`` fault hook, called just before a response
+        is written.  Firing simulates the worst-case worker loss: the
+        work is done (and possibly cached) but the response never
+        reaches the client.  Under a supervisor the whole process dies
+        (the supervisor recycles it); an unsupervised daemon merely
+        cuts the connection so in-process tests stay alive.
+
+        Suppressed while draining: with the listener closed a client
+        cannot retry into another worker, so firing here would turn a
+        simulated crash into a guaranteed lost response — the drain
+        guarantee is the one property this fault must not break."""
+        if self.draining \
+                or not self.faults.enabled("serve.respond") \
+                or not self.faults.should_fire("serve.respond"):
+            return False
+        self.respond_drops += 1
+        if knobs.worker_id() is not None:
+            import os
+            import sys
+            sys.stderr.flush()
+            os._exit(knobs.EXIT_RESPOND_FAULT)
+        return True
 
     # -- POST /run -------------------------------------------------------
 
@@ -205,16 +248,17 @@ class ServeApp:
         except ValueError:
             raise BadRequest("request body is not valid JSON") from None
         request = parse_run_request(decoded)
+        status, payload = await self._routed(request)
+        if request.echo is not None:
+            payload = dict(payload, echo=request.echo)
+        return status, payload
+
+    async def _routed(self, request: RunRequest) -> tuple[int, dict]:
         workload = WORKLOADS_BY_NAME[request.workload]
         run_key = memo_key(workload, request.config, ALPHA_21164,
                            DEFAULT_OVERHEAD, request.verify)
         tenant = request.tenant
         self._tenant(tenant)["requests"] += 1
-
-        if self.faults.should_fire("serve.admit"):
-            raise WorkerFault(
-                "injected fault: serve.admit failed the request"
-            )
 
         if not request.no_cache:
             envelope = self.cache.get(tenant, run_key)
@@ -223,6 +267,41 @@ class ServeApp:
                 return envelope["status"], dict(envelope["body"],
                                                 cached=True)
 
+        # Circuit-breaker gate (after the cache: serving known-good
+        # cached bytes is always safe, even for a tripped pair).
+        wait = self.breakers.acquire(tenant, request.workload)
+        if wait is not None:
+            self._tenant(tenant)["rejected"] += 1
+            return 503, error_body(
+                "circuit_open",
+                f"circuit breaker open for tenant {tenant!r} "
+                f"workload {request.workload!r}",
+                tenant=tenant, workload=request.workload,
+                retry_after=round(wait, 3))
+
+        status: int | None = None
+        try:
+            if self.faults.should_fire("serve.admit"):
+                raise WorkerFault(
+                    "injected fault: serve.admit failed the request"
+                )
+            status, payload = await self._flight(request, workload,
+                                                 run_key)
+            return status, payload
+        except (QuotaExceeded, Backpressure) as exc:
+            self._tenant(tenant)["rejected"] += 1
+            status, payload = self._classify_admission(exc)
+            return status, payload
+        except Exception as exc:
+            status, payload = classify_error(exc)
+            return status, payload
+        finally:
+            self.breakers.settle(tenant, request.workload, status)
+
+    async def _flight(self, request: RunRequest, workload,
+                      run_key: str) -> tuple[int, dict]:
+        """Single-flight coalescing around the admitted leader."""
+        tenant = request.tenant
         flight_key = (tenant, run_key)
         leader = self._inflight.get(flight_key)
         if leader is not None and not request.no_cache:
@@ -310,14 +389,36 @@ class ServeApp:
 
     def _healthz(self) -> dict:
         return {
-            "status": "ok",
+            "status": "draining" if self.draining else "ok",
             "uptime_seconds": round(time.time() - self.started, 3),
             "requests_total": self.requests_total,
             "in_flight": self.admission.waiting + self.admission.running,
             "degraded_runs": self.degraded_runs,
             "quarantined_contexts":
                 self.degradation["quarantined_contexts"],
+            "worker": knobs.worker_id(),
+            "draining": self.draining,
         }
+
+    @staticmethod
+    def _supervisor_stats() -> dict | None:
+        """Supervision counters, when running under a supervisor.
+
+        The supervisor rewrites its state file atomically on every
+        lifecycle event; any worker can therefore surface fleet-wide
+        restart counters on its own ``/stats`` without IPC.
+        """
+        path = knobs.supervisor_state_path()
+        if path is None:
+            return None
+        try:
+            with open(path, encoding="utf-8") as handle:
+                state = json.load(handle)
+        except (OSError, ValueError):
+            return {"state_file": path, "readable": False}
+        state["state_file"] = path
+        state["readable"] = True
+        return state
 
     def _persist_stats(self) -> dict | None:
         store = persist.active_store()
@@ -338,6 +439,8 @@ class ServeApp:
                 "cache_served": self.cache_served,
                 "coalesced": self.coalesced,
                 "tiers": dict(sorted(self.tiers.items())),
+                "respond_drops": self.respond_drops,
+                "draining": self.draining,
                 "fault_spec": self.fault_spec,
                 "fault_points": {
                     point: {"hits": hits, "fires": fires}
@@ -348,6 +451,8 @@ class ServeApp:
             "cache": self.cache.stats(),
             "persist": self._persist_stats(),
             "admission": self.admission.stats(),
+            "breakers": self.breakers.stats(),
+            "supervisor": self._supervisor_stats(),
             "degradation": dict(self.degradation),
             "degraded_runs": self.degraded_runs,
             "tenants": {

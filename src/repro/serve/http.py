@@ -100,16 +100,39 @@ async def read_request(reader: asyncio.StreamReader):
     return method, path, headers, body
 
 
+def retry_after_hint(status: int, payload: dict) -> int | None:
+    """``Retry-After`` seconds for a shed request, if the body names one.
+
+    429/503 bodies carry a ``retry_after`` field (circuit breakers put
+    the remaining cooldown there; admission rejections a fixed hint) —
+    mirror it into the standard header, rounded up to whole seconds as
+    the header requires.
+    """
+    if status not in (429, 503):
+        return None
+    error = payload.get("error")
+    if not isinstance(error, dict):
+        return None
+    seconds = error.get("retry_after")
+    if not isinstance(seconds, (int, float)) or seconds < 0:
+        return None
+    return max(1, int(-(-seconds // 1)))
+
+
 def render_response(status: int, payload: dict,
                     keep_alive: bool = True) -> bytes:
     """Serialize a JSON response (sorted keys → deterministic bytes)."""
     body = json.dumps(payload, sort_keys=True,
                       separators=(",", ":")).encode("utf-8")
     reason = _REASONS.get(status, "Unknown")
+    retry_after = retry_after_hint(status, payload)
+    extra = f"Retry-After: {retry_after}\r\n" \
+        if retry_after is not None else ""
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         f"\r\n"
     )
@@ -117,19 +140,36 @@ def render_response(status: int, payload: dict,
 
 
 class ServeDaemon:
-    """Bind/serve wrapper tying the HTTP layer to a ``ServeApp``."""
+    """Bind/serve wrapper tying the HTTP layer to a ``ServeApp``.
 
-    def __init__(self, app, host: str = "127.0.0.1", port: int = 0):
+    ``sock`` lets a supervisor pass a pre-bound listening socket so N
+    forked workers accept from one shared queue; without it the daemon
+    binds ``host:port`` itself.  Open connections and in-flight
+    requests are tracked so :meth:`drain` can stop accepting, let
+    in-flight responses complete, and then force idle keep-alive
+    connections closed — the graceful half of worker recycling.
+    """
+
+    def __init__(self, app, host: str = "127.0.0.1", port: int = 0,
+                 sock=None):
         self.app = app
         self.host = host
         self.port = port
+        self._sock = sock
         self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self.in_flight = 0
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port,
-            limit=MAX_BODY_BYTES + _MAX_HEADER_BYTES,
-        )
+        limit = MAX_BODY_BYTES + _MAX_HEADER_BYTES
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=self._sock, limit=limit,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.host, self.port, limit=limit,
+            )
         # Resolve the real port when started with port 0 (tests).
         sockets = self._server.sockets or []
         if sockets:
@@ -148,10 +188,33 @@ class ServeDaemon:
             await self._server.wait_closed()
             self._server = None
 
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight work.
+
+        Closes the listener, waits up to ``timeout`` seconds for every
+        in-flight request to write its response, then closes all
+        remaining (idle keep-alive) connections.  Returns whether the
+        drain completed without abandoning an in-flight request.
+        """
+        await self.close()
+        deadline = asyncio.get_running_loop().time() + timeout
+        while self.in_flight > 0 \
+                and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.02)
+        completed = self.in_flight == 0
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except OSError:
+                pass
+        await asyncio.sleep(0)
+        return completed
+
     # -- connection handling --------------------------------------------
 
     async def _on_connection(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
         try:
             while True:
                 try:
@@ -168,15 +231,32 @@ class ServeDaemon:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload = await self.app.handle(method, path, body)
-                keep_alive = headers.get("connection", "").lower() != "close"
-                writer.write(render_response(status, payload, keep_alive))
-                await writer.drain()
+                self.in_flight += 1
+                try:
+                    status, payload = await self.app.handle(
+                        method, path, body)
+                    if self.app.drop_response():
+                        # serve.respond fired: the worker dies (or, in
+                        # an unsupervised daemon, the connection is cut)
+                        # after doing the work but before the bytes go
+                        # out — the client must retry into a recycled
+                        # worker and lose nothing.
+                        break
+                    keep_alive = (
+                        headers.get("connection", "").lower() != "close"
+                        and not self.app.draining
+                    )
+                    writer.write(render_response(status, payload,
+                                                 keep_alive))
+                    await writer.drain()
+                finally:
+                    self.in_flight -= 1
                 if not keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError, TimeoutError):
             pass
         finally:
+            self._writers.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()

@@ -38,6 +38,16 @@ an empty store) mid-replay, and replay the same keys again.  Every
 fingerprint must be byte-identical across the restart *and* to the
 offline harness oracle, and the warm daemon must actually replay
 persisted artifacts rather than regenerate them.
+
+Clients are resilient by default: every request carries an ``echo``
+token the daemon must return verbatim (catching lost, duplicated, or
+cross-wired responses across retries and worker recycling), transport
+errors and 429/503 sheds are retried with seeded-jitter exponential
+backoff (the body's ``retry_after`` hint floors the wait) under a
+bounded attempt budget, and a request counts as ``lost`` only when
+every attempt died on the wire.  That is what lets the chaos harness
+(``python -m repro.chaos``) demand *zero* lost responses while a
+supervisor SIGKILLs and recycles the workers serving the traffic.
 """
 
 from __future__ import annotations
@@ -189,12 +199,21 @@ class LegResult:
         self.cached = 0
         self.coalesced = 0
         self.transport_errors = 0
+        self.retries = 0
+        self.lost = 0
+        self.echo_mismatches = 0
         self.duration = 0.0
 
     def record(self, request: dict, status: int, body: dict,
                seconds: float) -> None:
         self.latencies.append(seconds)
         self.statuses[str(status)] = self.statuses.get(str(status), 0) + 1
+        expected_echo = request.get("echo")
+        if expected_echo is not None \
+                and body.get("echo") != expected_echo:
+            # The response must be *this* request's response — catching
+            # cross-wiring or replay across retries and worker kills.
+            self.echo_mismatches += 1
         if status >= 400 and isinstance(body.get("error"), dict):
             code = body["error"].get("code", "unknown")
             self.error_codes[code] = self.error_codes.get(code, 0) + 1
@@ -235,6 +254,9 @@ class LegResult:
             "cached": self.cached,
             "coalesced": self.coalesced,
             "transport_errors": self.transport_errors,
+            "retries": self.retries,
+            "lost": self.lost,
+            "echo_mismatches": self.echo_mismatches,
             "self_consistent_fingerprints":
                 self.mismatched_fingerprints == 0,
         }
@@ -248,38 +270,111 @@ def _request_identity(request: dict) -> str:
         sort_keys=True)
 
 
+#: Per-request attempt ceiling (first try + retries).  Transport errors
+#: and retryable statuses both consume attempts; exhausting them on a
+#: transport error marks the request *lost* — the invariant the chaos
+#: harness forbids.
+MAX_ATTEMPTS = 6
+#: Attempts spent on retryable statuses (429/503) before the client
+#: accepts the shed response as final.
+MAX_STATUS_RETRIES = 3
+#: Backoff base; attempt k waits ``BACKOFF_BASE * 2**k`` seconds (or
+#: the server's ``Retry-After``-equivalent hint, whichever is larger)
+#: plus up to 50% seeded jitter.
+BACKOFF_BASE = 0.05
+RETRYABLE_STATUSES = (429, 503)
+
+
+def _retry_wait(body: dict, attempt: int, rng: random.Random) -> float:
+    """Jittered exponential backoff, floored by the server's hint.
+
+    The structured body's ``retry_after`` carries sub-second precision
+    (the header is rounded up to whole seconds), so the client honors
+    the body when present.
+    """
+    wait = BACKOFF_BASE * (2 ** attempt)
+    error = body.get("error")
+    if isinstance(error, dict):
+        hinted = error.get("retry_after")
+        if isinstance(hinted, (int, float)) and hinted > 0:
+            wait = max(wait, float(hinted))
+    return min(5.0, wait * (1.0 + 0.5 * rng.random()))
+
+
 async def run_leg(name: str, host: str, port: int,
                   requests: list[dict], clients: int,
-                  timeout: float = 120.0) -> LegResult:
-    """Drain ``requests`` through ``clients`` keep-alive connections."""
+                  timeout: float = 120.0,
+                  echo: bool = False) -> LegResult:
+    """Drain ``requests`` through ``clients`` keep-alive connections.
+
+    Clients survive worker recycling: transport errors (a daemon or
+    supervised worker dying mid-request) reconnect and retry with
+    seeded jittered exponential backoff, and retryable shed statuses
+    (429/503, including open circuit breakers) honor the response's
+    ``retry_after`` hint.  A request is *lost* only when every attempt
+    ends in a transport error.  With ``echo=True`` every request
+    carries a unique token the response must echo back verbatim.
+    """
     leg = LegResult(name)
+    if echo:
+        requests = [dict(r, echo=f"{name}:{i:06d}")
+                    for i, r in enumerate(requests)]
     queue: deque = deque(requests)
     clients = max(1, min(clients, len(requests)))
 
-    async def worker() -> None:
+    async def attempt(client: Client, request: dict,
+                      rng: random.Random) -> None:
+        status_retries = 0
+        for attempt_no in range(MAX_ATTEMPTS):
+            try:
+                status, body, seconds = await client.request(
+                    "POST", "/run", request)
+            except (OSError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError, ValueError):
+                leg.transport_errors += 1
+                await client.close()
+                if attempt_no + 1 >= MAX_ATTEMPTS:
+                    break
+                leg.retries += 1
+                await asyncio.sleep(_retry_wait({}, attempt_no, rng))
+                try:
+                    await client.open()
+                except OSError:
+                    continue  # next attempt re-opens
+                continue
+            if status in RETRYABLE_STATUSES \
+                    and status_retries < MAX_STATUS_RETRIES:
+                status_retries += 1
+                leg.retries += 1
+                await asyncio.sleep(
+                    _retry_wait(body, status_retries, rng))
+                continue
+            leg.record(request, status, body, seconds)
+            return
+        leg.lost += 1
+
+    async def worker(worker_no: int) -> None:
+        # zlib.crc32, not hash(): str hashes are salted per process.
+        import zlib
+        rng = random.Random(
+            (zlib.crc32(name.encode("utf-8")) << 16) ^ worker_no)
         client = Client(host, port, timeout=timeout)
         try:
-            await client.open()
+            try:
+                await client.open()
+            except OSError:
+                pass  # first attempt() will retry the connect
             while True:
                 try:
                     request = queue.popleft()
                 except IndexError:
                     return
-                try:
-                    status, body, seconds = await client.request(
-                        "POST", "/run", request)
-                except (OSError, asyncio.IncompleteReadError,
-                        asyncio.TimeoutError, ValueError):
-                    leg.transport_errors += 1
-                    await client.close()
-                    await client.open()
-                    continue
-                leg.record(request, status, body, seconds)
+                await attempt(client, request, rng)
         finally:
             await client.close()
 
     start = time.perf_counter()
-    await asyncio.gather(*(worker() for _ in range(clients)))
+    await asyncio.gather(*(worker(n) for n in range(clients)))
     leg.duration = time.perf_counter() - start
     return leg
 
@@ -415,7 +510,7 @@ def run_snapshot_leg(args: argparse.Namespace) -> tuple[dict, list[str]]:
         try:
             leg = asyncio.run(run_leg(
                 name, spawned.host, spawned.port, [dict(r) for r in plan],
-                8, args.timeout))
+                8, args.timeout, echo=True))
             stats = asyncio.run(fetch(spawned.host, spawned.port,
                                       "/stats"))
         finally:
@@ -602,24 +697,27 @@ async def drive(args: argparse.Namespace) -> tuple[dict, list[str]]:
 
     zipf_requests = plan_zipf(universe, args.requests, args.skew, rng)
     legs["zipf"] = await run_leg("zipf", host, port, zipf_requests,
-                                 args.clients, args.timeout)
+                                 args.clients, args.timeout, echo=True)
     print(f"[loadgen] zipf: {legs['zipf'].report()['throughput_rps']} "
           f"req/s over {args.clients} clients", file=sys.stderr)
 
     thrash_requests = plan_thrash(workloads, args.thrash, rng)
     legs["thrash"] = await run_leg("thrash", host, port, thrash_requests,
                                    max(32, args.clients // 5),
-                                   args.timeout)
+                                   args.timeout, echo=True)
 
     storm = LegResult("storm")
     start = time.perf_counter()
     for wave in plan_storm(workloads, args.storm_waves, args.storm_size):
         wave_leg = await run_leg("storm-wave", host, port, wave,
-                                 len(wave), args.timeout)
+                                 len(wave), args.timeout, echo=True)
         storm.latencies += wave_leg.latencies
         storm.coalesced += wave_leg.coalesced
         storm.cached += wave_leg.cached
         storm.transport_errors += wave_leg.transport_errors
+        storm.retries += wave_leg.retries
+        storm.lost += wave_leg.lost
+        storm.echo_mismatches += wave_leg.echo_mismatches
         for key, count in wave_leg.statuses.items():
             storm.statuses[key] = storm.statuses.get(key, 0) + count
         for key, count in wave_leg.error_codes.items():
@@ -636,7 +734,7 @@ async def drive(args: argparse.Namespace) -> tuple[dict, list[str]]:
     legs["faulted"] = await run_leg("faulted", host, port,
                                     faulted_requests,
                                     max(8, args.clients // 20),
-                                    args.timeout)
+                                    args.timeout, echo=True)
 
     stats_after = await fetch(host, port, "/stats")
     health_after = await fetch(host, port, "/healthz")
@@ -698,6 +796,11 @@ def check_invariants(report: dict, legs: dict[str, LegResult],
         expect(leg.transport_errors == 0,
                f"{name}: {leg.transport_errors} transport errors "
                f"(daemon dropped connections)")
+        expect(leg.lost == 0,
+               f"{name}: {leg.lost} requests never got a response")
+        expect(leg.echo_mismatches == 0,
+               f"{name}: {leg.echo_mismatches} responses carried the "
+               f"wrong echo token (cross-wired responses)")
 
     clean_ok = {"200"} | ({"500"} if admit_armed else set()) \
         | {"429", "503"}

@@ -20,11 +20,14 @@ status      meaning
 422         the run itself failed deterministically
             (:class:`~repro.errors.SpecializationError`, e.g. a
             context-budget overrun without the ladder's residualizer)
-429         per-tenant quota exhausted (retryable by *other* tenants)
+429         per-tenant quota exhausted (retryable by *other* tenants;
+            carries ``retry_after`` + a ``Retry-After`` header)
 500         injected admission fault (``serve.admit``), verification
             or machine failure — the daemon survives and reports it
 502         :class:`~repro.errors.HarnessError` from a delegated sweep
-503         admission queue full (global backpressure; retryable)
+503         admission queue full (global backpressure) or an open
+            per-(tenant, workload) circuit breaker (``circuit_open``);
+            both retryable, both carry ``retry_after`` + the header
 ==========  ==========================================================
 
 Every error response body is structured::
@@ -60,6 +63,9 @@ MAX_BODY_BYTES = 1 << 20
 #: Longest accepted tenant name (tenants are free-form strings).
 MAX_TENANT_LEN = 64
 
+#: Longest accepted ``echo`` token (opaque client request id).
+MAX_ECHO_LEN = 128
+
 _CONFIG_FIELDS = {f.name: f for f in dataclasses.fields(OptConfig)}
 
 
@@ -76,6 +82,12 @@ class RunRequest:
     config: OptConfig
     verify: bool = True
     no_cache: bool = False
+    #: Opaque client-chosen request id, echoed verbatim in the response
+    #: body (cached, coalesced, and error responses included).  The
+    #: chaos harness uses it to prove every request got exactly its own
+    #: response — no losses, duplicates, or cross-wiring — across
+    #: worker kills and retries.  Never part of any cache or memo key.
+    echo: str | None = None
 
 
 def parse_run_request(payload: object) -> RunRequest:
@@ -108,9 +120,15 @@ def parse_run_request(payload: object) -> RunRequest:
     no_cache = payload.get("no_cache", False)
     if not isinstance(no_cache, bool):
         raise BadRequest("no_cache must be a boolean")
+    echo = payload.get("echo")
+    if echo is not None and (not isinstance(echo, str)
+                             or len(echo) > MAX_ECHO_LEN):
+        raise BadRequest(
+            f"echo must be a string of at most {MAX_ECHO_LEN} characters"
+        )
     config = build_config(payload.get("config", {}))
     return RunRequest(tenant=tenant, workload=workload, config=config,
-                      verify=verify, no_cache=no_cache)
+                      verify=verify, no_cache=no_cache, echo=echo)
 
 
 def build_config(overrides: object) -> OptConfig:

@@ -310,6 +310,161 @@ class TestStoreApi:
         assert persist.resolve_persist_dir() == "/from/env"
         assert persist.resolve_persist_dir("explicit") == "explicit"
 
-    def test_memo_schema_is_five(self):
+    def test_memo_schema_is_six(self):
         from repro.evalharness.memo import _SCHEMA
-        assert _SCHEMA == 5
+        assert _SCHEMA == 6
+
+    def test_memo_key_tracks_resilience_knobs(self, monkeypatch):
+        """Schema 6 keys the serve-tier knobs: changing the breaker
+        threshold, cooldown, or worker count must change memo keys."""
+        from repro.evalharness.memo import memo_key
+        from repro.machine.costs import ALPHA_21164
+        from repro.runtime.overhead import DEFAULT_OVERHEAD
+        from repro.serve import knobs
+        workload = WORKLOADS_BY_NAME["binary"]
+
+        def key():
+            return memo_key(workload, ALL_ON, ALPHA_21164,
+                            DEFAULT_OVERHEAD)
+
+        monkeypatch.delenv(knobs.ENV_BREAKER_THRESHOLD, raising=False)
+        monkeypatch.delenv(knobs.ENV_BREAKER_COOLDOWN, raising=False)
+        monkeypatch.delenv(knobs.ENV_SERVE_PROCS, raising=False)
+        base = key()
+        monkeypatch.setenv(knobs.ENV_BREAKER_THRESHOLD, "9")
+        assert key() != base
+        monkeypatch.delenv(knobs.ENV_BREAKER_THRESHOLD)
+        monkeypatch.setenv(knobs.ENV_BREAKER_COOLDOWN, "2.5")
+        assert key() != base
+        monkeypatch.delenv(knobs.ENV_BREAKER_COOLDOWN)
+        monkeypatch.setenv(knobs.ENV_SERVE_PROCS, "7")
+        assert key() != base
+        monkeypatch.delenv(knobs.ENV_SERVE_PROCS)
+        assert key() == base
+
+
+class TestCrashConsistency:
+    """Atomic tmp-file + rename + fsync: kills never tear the store."""
+
+    def _populate(self, tmp_path):
+        workload = WORKLOADS_BY_NAME["binary"]
+        cold, _ = _run_with_store(workload, tmp_path)
+        return workload, cold
+
+    def test_truncated_tmp_files_load_clean(self, tmp_path):
+        """An interrupted writer's half-written tmp files are inert:
+        a cold open neither executes nor trips over them."""
+        workload, cold = self._populate(tmp_path)
+        (tmp_path / ".entry-deadbeef.tmp").write_bytes(b"\x80\x04half a")
+        (tmp_path / ".cont-cafe.tmp").write_bytes(b"")
+        scan = persist.verify_store(str(tmp_path))
+        assert scan["corrupt"] == 0
+        assert scan["tmp_files"] == 2
+        assert scan["ok"] == scan["records"]
+        warm, stats = _run_with_store(workload, tmp_path)
+        assert run_fingerprints(cold) == run_fingerprints(warm)
+        assert stats["corrupt_dropped"] == 0
+        assert stats["replayed_entries"] > 0
+
+    def test_partial_rename_to_wrong_digest_is_cold_miss(self, tmp_path):
+        """A record surfacing under the wrong final name (the torn tail
+        of a botched rename/copy) must read as corrupt, not as the
+        artifact its filename claims."""
+        workload, cold = self._populate(tmp_path)
+        names = _records(tmp_path)
+        donor = (tmp_path / names[0]).read_bytes()
+        kind = names[0].split("-", 1)[0]
+        wrong = tmp_path / f"{kind}-{'0' * 64}.rec"
+        wrong.write_bytes(donor)
+        store = persist.PersistStore(str(tmp_path))
+        assert store.get(kind, "0" * 64) is None
+        assert store.stats()["corrupt_dropped"] > 0
+        warm, _ = _run_with_store(workload, tmp_path)
+        assert run_fingerprints(cold) == run_fingerprints(warm)
+
+    def test_sigkilled_writer_leaves_store_loadable(self, tmp_path):
+        """SIGKILL a real writer subprocess mid-store, repeatedly; the
+        survivors must verify clean and replay, with zero corrupt
+        records ever decoded as valid."""
+        import signal
+        import subprocess
+        import sys
+        import time as _time
+
+        script = (
+            "import sys\n"
+            "from repro.runtime import persist\n"
+            "store = persist.PersistStore(sys.argv[1])\n"
+            "blob = list(range(50000))\n"
+            "i = 0\n"
+            "while True:\n"
+            "    store.put('entry', persist.digest('kill', i), blob)\n"
+            "    i += 1\n"
+        )
+        src_dir = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ, PYTHONPATH=src_dir)
+        for round_no in range(3):
+            proc = subprocess.Popen([sys.executable, "-c", script,
+                                     str(tmp_path)], env=env)
+            _time.sleep(0.6 + 0.15 * round_no)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+            scan = persist.verify_store(str(tmp_path))
+            assert scan["corrupt"] == 0, scan
+            assert scan["schema"] == 0, scan
+            assert scan["ok"] == scan["records"]
+        # Survivors decode to exactly the payload that was written.
+        store = persist.PersistStore(str(tmp_path))
+        replayed = 0
+        for name in _records(tmp_path):
+            digest_ = name.split("-", 1)[1].removesuffix(".rec")
+            value = store.get("entry", digest_)
+            if value is not None:
+                assert value == list(range(50000))
+                replayed += 1
+        assert replayed == store.stats()["hits"]
+        assert store.stats()["corrupt_dropped"] == 0
+
+    def test_fsync_fault_aborts_install(self, tmp_path):
+        """An injected fsync failure must abort the install entirely:
+        no record file appears, and the writer reports a skip."""
+        from repro.faults import FaultRegistry
+        store = persist.PersistStore(str(tmp_path))
+        registry = FaultRegistry.from_spec("persist.fsync")
+        digest_ = persist.digest("fsync", 1)
+        assert store.put("entry", digest_, ["payload"],
+                         faults=registry) is False
+        assert store.stats()["store_skips"] > 0
+        assert _records(tmp_path) == []
+        assert not any(name.endswith(".tmp")
+                       for name in os.listdir(tmp_path))
+        clean = persist.PersistStore(str(tmp_path))
+        assert clean.put("entry", digest_, ["payload"]) is True
+        assert _records(tmp_path) == [f"entry-{digest_}.rec"]
+
+    def test_fsync_fault_through_a_run(self, tmp_path):
+        """persist.fsync is a registered, run-eligible fault point:
+        a faulted run keeps its artifacts out of the store but stays
+        byte-identical to a clean run."""
+        workload = WORKLOADS_BY_NAME["binary"]
+        clean, _ = _run_with_store(workload, tmp_path / "clean")
+        config = dataclasses.replace(ALL_ON, faults="persist.fsync")
+        assert persist.run_eligible(config)
+        faulted, stats = _run_with_store(workload, tmp_path / "faulted",
+                                         config=config)
+        assert run_fingerprints(clean) == run_fingerprints(faulted)
+        assert stats["store_skips"] > 0
+        assert not any(name.startswith(("entry-", "cont-"))
+                       for name in _records(tmp_path / "faulted"))
+
+    def test_verify_store_flags_corruption(self, tmp_path):
+        workload, _ = self._populate(tmp_path)
+        names = _records(tmp_path)
+        victim = tmp_path / names[0]
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        scan = persist.verify_store(str(tmp_path))
+        assert scan["corrupt"] == 1
+        assert scan["ok"] == len(names) - 1
+        assert scan["records"] == len(names)

@@ -19,7 +19,9 @@ from repro.serve.admission import (
     QuotaExceeded,
 )
 from repro.serve.app import ServeApp
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard
 from repro.serve.cache import ShardedResultCache
+from repro.serve.http import render_response, retry_after_hint
 from repro.serve.protocol import (
     BadRequest,
     build_config,
@@ -382,9 +384,16 @@ class TestServeApp:
             try:
                 status, health = await app.handle("GET", "/healthz", b"")
                 assert status == 200 and health["status"] == "ok"
+                assert health["draining"] is False
+                assert health["worker"] is None
                 status, stats = await app.handle("GET", "/stats", b"")
                 assert status == 200
                 assert "cache" in stats and "admission" in stats
+                assert stats["breakers"]["enabled"] is True
+                assert stats["server"]["respond_drops"] == 0
+                assert stats["server"]["draining"] is False
+                # No supervisor state file exported in-process.
+                assert stats["supervisor"] is None
                 status, listing = await app.handle(
                     "GET", "/workloads", b"")
                 assert status == 200
@@ -393,3 +402,378 @@ class TestServeApp:
                 app.close()
 
         _run(go())
+
+
+# ----------------------------------------------------------------------
+# Circuit breakers
+# ----------------------------------------------------------------------
+
+def _board(threshold=3, cooldown=10.0):
+    """A BreakerBoard on a hand-cranked clock."""
+    clock = {"now": 0.0}
+    board = BreakerBoard(threshold=threshold, cooldown=cooldown,
+                         clock=lambda: clock["now"])
+    return board, clock
+
+
+class TestCircuitBreakerUnit:
+    def test_trips_after_consecutive_failures(self):
+        board, _ = _board(threshold=3)
+        for _ in range(3):
+            assert board.acquire("t", "w") is None
+            board.settle("t", "w", 500)
+        wait = board.acquire("t", "w")
+        assert wait is not None and wait > 0
+        assert board.state_of("t", "w") == OPEN
+        assert board.rejected == 1
+
+    def test_success_resets_the_streak(self):
+        board, _ = _board(threshold=2)
+        board.acquire("t", "w")
+        board.settle("t", "w", 500)
+        board.acquire("t", "w")
+        board.settle("t", "w", 200)          # streak broken
+        board.acquire("t", "w")
+        board.settle("t", "w", 500)
+        assert board.acquire("t", "w") is None
+        assert board.state_of("t", "w") == CLOSED
+
+    def test_deterministic_422_counts_as_success(self):
+        board, _ = _board(threshold=1)
+        board.acquire("t", "w")
+        board.settle("t", "w", 422)
+        assert board.state_of("t", "w") == CLOSED
+
+    def test_shed_statuses_are_neutral(self):
+        board, _ = _board(threshold=1)
+        for status in (429, 503):
+            board.acquire("t", "w")
+            board.settle("t", "w", status)
+        assert board.state_of("t", "w") == CLOSED
+
+    def test_none_status_is_a_failure(self):
+        board, _ = _board(threshold=1)
+        board.acquire("t", "w")
+        board.settle("t", "w", None)
+        assert board.state_of("t", "w") == OPEN
+
+    def test_half_open_probe_closes_on_success(self):
+        board, clock = _board(threshold=1, cooldown=5.0)
+        board.acquire("t", "w")
+        board.settle("t", "w", 500)
+        assert board.acquire("t", "w") is not None   # still cooling
+        clock["now"] = 5.1
+        assert board.acquire("t", "w") is None       # the probe
+        assert board.state_of("t", "w") == HALF_OPEN
+        # Only one probe slot: a second caller is rejected.
+        assert board.acquire("t", "w") is not None
+        board.settle("t", "w", 200)
+        assert board.state_of("t", "w") == CLOSED
+        assert board.acquire("t", "w") is None
+
+    def test_half_open_probe_reopens_on_failure(self):
+        board, clock = _board(threshold=1, cooldown=5.0)
+        board.acquire("t", "w")
+        board.settle("t", "w", 500)
+        clock["now"] = 5.1
+        assert board.acquire("t", "w") is None
+        board.settle("t", "w", 502)
+        assert board.state_of("t", "w") == OPEN
+        # Fresh cooldown from the failed probe.
+        wait = board.acquire("t", "w")
+        assert wait is not None and wait > 4.0
+
+    def test_keys_are_independent(self):
+        board, _ = _board(threshold=1)
+        board.acquire("a", "binary")
+        board.settle("a", "binary", 500)
+        assert board.acquire("a", "binary") is not None
+        assert board.acquire("a", "dotproduct") is None
+        assert board.acquire("b", "binary") is None
+
+    def test_threshold_zero_disables_the_board(self):
+        board, _ = _board(threshold=0)
+        assert not board.enabled
+        for _ in range(10):
+            assert board.acquire("t", "w") is None
+            board.settle("t", "w", 500)
+        assert board.acquire("t", "w") is None
+        assert board.stats()["tracked"] == 0
+
+    def test_stats_shape(self):
+        board, _ = _board(threshold=1)
+        board.acquire("t", "w")
+        board.settle("t", "w", 500)
+        board.acquire("t", "w")
+        stats = board.stats()
+        assert stats["trips"] == 1 and stats["rejected"] == 1
+        assert stats["states"][OPEN] == 1
+        assert stats["open_now"] == ["t/w"]
+
+
+class TestBreakerInApp:
+    def test_trips_to_circuit_open_503(self):
+        async def go():
+            app = _app(fault_spec="serve.admit",
+                       breaker_threshold=2, breaker_cooldown=60.0)
+            try:
+                for _ in range(2):
+                    status, body = await _post_run(
+                        app, {"workload": "binary", "tenant": "t"})
+                    assert status == 500
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "t"})
+                assert status == 503
+                assert body["error"]["code"] == "circuit_open"
+                assert body["error"]["retry_after"] > 0
+                # Only the admitted requests hit the fault point.
+                assert app.faults.summary()["serve.admit"] == (2, 2)
+                stats = app._stats()
+                assert stats["breakers"]["trips"] == 1
+                assert stats["breakers"]["open_now"] == ["t/binary"]
+                assert stats["tenants"]["t"]["rejected"] == 1
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_breaker_keys_tenant_and_workload(self):
+        async def go():
+            app = _app(fault_spec="serve.admit",
+                       breaker_threshold=1, breaker_cooldown=60.0)
+            try:
+                status, _ = await _post_run(
+                    app, {"workload": "binary", "tenant": "t1"})
+                assert status == 500
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "t1"})
+                assert body["error"]["code"] == "circuit_open"
+                # Other tenants and workloads still reach the executor
+                # (and take the injected 500, not a breaker 503).
+                status, _ = await _post_run(
+                    app, {"workload": "binary", "tenant": "t2"})
+                assert status == 500
+                status, _ = await _post_run(
+                    app, {"workload": "dotproduct", "tenant": "t1"})
+                assert status == 500
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_cache_hits_bypass_open_breaker(self, monkeypatch):
+        async def go():
+            app = _app(breaker_threshold=1, breaker_cooldown=60.0)
+            try:
+                status, warm = await _post_run(
+                    app, {"workload": "binary", "tenant": "t"})
+                assert status == 200
+                monkeypatch.setattr("repro.serve.app.run_workload",
+                                    _boom)
+                # no_cache forces a miss → executes → 500 → trips.
+                status, _ = await _post_run(
+                    app, {"workload": "binary", "tenant": "t",
+                          "no_cache": True})
+                assert status == 500
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "t",
+                          "no_cache": True})
+                assert body["error"]["code"] == "circuit_open"
+                # The cached result is still served while open.
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "t"})
+                assert status == 200 and body["cached"] is True
+                assert body["fingerprint"] == warm["fingerprint"]
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_half_open_probe_recovers(self, monkeypatch):
+        fail = {"left": 2}
+
+        def flaky(*args, **kwargs):
+            if fail["left"] > 0:
+                fail["left"] -= 1
+                raise RuntimeError("transient backend failure")
+            return run_workload(*args, **kwargs)
+
+        async def go():
+            app = _app(breaker_threshold=2, breaker_cooldown=0.05)
+            try:
+                monkeypatch.setattr("repro.serve.app.run_workload",
+                                    flaky)
+                for _ in range(2):
+                    status, _ = await _post_run(
+                        app, {"workload": "binary", "tenant": "t"})
+                    assert status == 500
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "t"})
+                assert body["error"]["code"] == "circuit_open"
+                await asyncio.sleep(0.06)
+                # Cooldown elapsed: the probe runs and heals the pair.
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "t"})
+                assert status == 200
+                assert app.breakers.state_of("t", "binary") == "closed"
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "t"})
+                assert status == 200 and body["cached"] is True
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_threshold_zero_disables_in_app(self):
+        async def go():
+            app = _app(fault_spec="serve.admit", breaker_threshold=0)
+            try:
+                for _ in range(4):
+                    status, body = await _post_run(
+                        app, {"workload": "binary", "tenant": "t"})
+                    assert status == 500
+                    assert body["error"]["code"] == "injected_fault"
+                assert app._stats()["breakers"]["enabled"] is False
+            finally:
+                app.close()
+
+        _run(go())
+
+
+def _boom(*args, **kwargs):
+    raise RuntimeError("backend down")
+
+
+# ----------------------------------------------------------------------
+# Echo passthrough and respond-fault behavior
+# ----------------------------------------------------------------------
+
+class TestEchoAndRespondFault:
+    def test_echo_round_trips_on_every_outcome(self, monkeypatch):
+        async def go():
+            app = _app(breaker_threshold=1, breaker_cooldown=60.0)
+            try:
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "t",
+                          "echo": "req-000"})
+                assert status == 200 and body["echo"] == "req-000"
+                # Cached response echoes the *new* request's token.
+                status, body = await _post_run(
+                    app, {"workload": "binary", "tenant": "t",
+                          "echo": "req-001"})
+                assert body["cached"] is True
+                assert body["echo"] == "req-001"
+                monkeypatch.setattr("repro.serve.app.run_workload",
+                                    _boom)
+                status, body = await _post_run(
+                    app, {"workload": "dotproduct", "tenant": "t",
+                          "echo": "req-002", "no_cache": True})
+                assert status == 500 and body["echo"] == "req-002"
+                status, body = await _post_run(
+                    app, {"workload": "dotproduct", "tenant": "t",
+                          "echo": "req-003", "no_cache": True})
+                assert body["error"]["code"] == "circuit_open"
+                assert body["echo"] == "req-003"
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_echo_never_reaches_the_cache_key(self):
+        async def go():
+            app = _app()
+            try:
+                status, a = await _post_run(
+                    app, {"workload": "binary", "echo": "x"})
+                status, b = await _post_run(
+                    app, {"workload": "binary", "echo": "y"})
+                assert b["cached"] is True
+                assert a["fingerprint"] == b["fingerprint"]
+                assert app.executions == 1
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_oversize_or_non_string_echo_rejected(self):
+        async def go():
+            app = _app()
+            try:
+                status, body = await _post_run(
+                    app, {"workload": "binary", "echo": "e" * 129})
+                assert status == 400
+                status, body = await _post_run(
+                    app, {"workload": "binary", "echo": 7})
+                assert status == 400
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_drop_response_cuts_connection_unsupervised(self):
+        async def go():
+            # Unsupervised (no REPRO_SERVE_WORKER): the hook reports
+            # True (http layer cuts the connection) instead of exiting.
+            app = _app(fault_spec="serve.respond:once")
+            try:
+                assert app.drop_response() is True
+                assert app.respond_drops == 1
+                assert app.drop_response() is False   # once = spent
+            finally:
+                app.close()
+
+        _run(go())
+
+    def test_drop_response_suppressed_while_draining(self):
+        async def go():
+            app = _app(fault_spec="serve.respond")
+            try:
+                app.draining = True
+                assert app.drop_response() is False
+                assert app.respond_drops == 0
+            finally:
+                app.close()
+
+        _run(go())
+
+
+# ----------------------------------------------------------------------
+# Retry-After surfacing
+# ----------------------------------------------------------------------
+
+class TestRetryAfter:
+    def test_hint_only_for_shed_statuses(self):
+        body = {"error": {"retry_after": 0.4}}
+        assert retry_after_hint(429, body) == 1
+        assert retry_after_hint(503, body) == 1
+        assert retry_after_hint(500, body) is None
+        assert retry_after_hint(200, body) is None
+
+    def test_hint_rounds_up_whole_seconds(self):
+        assert retry_after_hint(
+            429, {"error": {"retry_after": 2.1}}) == 3
+        assert retry_after_hint(
+            503, {"error": {"retry_after": 5}}) == 5
+
+    def test_hint_ignores_malformed_bodies(self):
+        assert retry_after_hint(429, {}) is None
+        assert retry_after_hint(429, {"error": {}}) is None
+        assert retry_after_hint(
+            429, {"error": {"retry_after": "soon"}}) is None
+        assert retry_after_hint(
+            429, {"error": {"retry_after": -1}}) is None
+
+    def test_header_emitted_in_rendered_response(self):
+        raw = render_response(503, {"error": {"retry_after": 0.25}})
+        head = raw.split(b"\r\n\r\n", 1)[0]
+        assert b"Retry-After: 1" in head
+        raw = render_response(200, {"ok": True})
+        assert b"Retry-After" not in raw
+
+    def test_admission_rejections_carry_retry_after(self):
+        status, body = ServeApp._classify_admission(
+            QuotaExceeded("t", in_flight=3, quota=3))
+        assert status == 429 and body["error"]["retry_after"] == 1
+        status, body = ServeApp._classify_admission(
+            Backpressure(queued=9, limit=9))
+        assert status == 503 and body["error"]["retry_after"] == 1
